@@ -1,0 +1,55 @@
+"""Ablation: photonic GST activation vs digital (ADC + memory round-trip).
+
+Quantifies the paper's second contribution in isolation: keep everything
+about Trident fixed, but route layer outputs through the baseline-style
+ADC -> memory -> digital activation -> DAC path instead of the GST cell.
+"""
+
+from dataclasses import replace
+
+from repro.baselines.deap_cnn import ADC_ENERGY_J, DAC_ENERGY_J
+from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+from repro.nn.models import PAPER_MODELS
+
+
+def activation_ablation(batch: int = 128):
+    base = PhotonicArch.trident()
+    digital = replace(
+        base,
+        name="trident-digital-act",
+        digital_activation=True,
+        adc_energy_per_sample_j=ADC_ENERGY_J,
+        dac_energy_per_sample_j=DAC_ENERGY_J,
+    )
+    rows = []
+    for model in PAPER_MODELS:
+        net = build_model(model)
+        photonic = PhotonicCostModel(base, batch=batch).model_cost(net)
+        adc = PhotonicCostModel(digital, batch=batch).model_cost(net)
+        rows.append(
+            [
+                model,
+                photonic.energy_j * 1e3,
+                adc.energy_j * 1e3,
+                (adc.energy_j / photonic.energy_j - 1) * 100,
+                adc.energy_component("conversion") * 1e3,
+            ]
+        )
+    return rows
+
+
+def test_ablation_photonic_activation(benchmark, record_report):
+    rows = benchmark.pedantic(activation_ablation, rounds=1, iterations=1)
+    text = format_table(
+        ["model", "photonic act (mJ)", "digital act (mJ)", "overhead %", "conversion (mJ)"],
+        rows,
+        title="Ablation: GST photonic activation vs ADC/digital activation",
+    )
+    record_report("ablation_activation", text)
+    for row in rows:
+        # Digital activation always costs more energy.
+        assert row[2] > row[1], row
+        # And the overhead is material (the HolyLight argument, ref [23]).
+        assert row[3] > 1.0, row

@@ -1,0 +1,55 @@
+"""Ablation: streaming-batch sweep (tuning amortization).
+
+The paper's weight-stationary argument ("weights are pre-loaded, after
+which inference can be performed on many inputs without re-tuning") is a
+statement about batch amortization.  This sweep quantifies it: at batch 1
+(single-shot edge inference) GST reprogramming dominates energy; by batch
+~64 the per-inference cost approaches the streaming floor — and the gap
+between batch-1 and steady-state is *much* larger for the thermal
+baselines, whose write energy is 1.55x GST's.
+"""
+
+from repro.baselines import photonic_baselines
+from repro.dataflow.cost_model import PhotonicCostModel
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+BATCHES = (1, 4, 16, 64, 256)
+
+
+def batch_sweep():
+    net = build_model("resnet50")
+    archs = {a.name: a for a in photonic_baselines()}
+    rows = []
+    for batch in BATCHES:
+        row = [batch]
+        for name in ("trident", "deap-cnn"):
+            cost = PhotonicCostModel(archs[name], batch=batch).model_cost(net)
+            row.extend(
+                [cost.energy_j * 1e3, cost.energy_component("tuning") * 1e3,
+                 cost.inferences_per_second]
+            )
+        rows.append(row)
+    return rows
+
+
+def test_ablation_batch_amortization(benchmark, record_report):
+    rows = benchmark.pedantic(batch_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["batch",
+         "trident E (mJ)", "trident tuning (mJ)", "trident inf/s",
+         "deap E (mJ)", "deap tuning (mJ)", "deap inf/s"],
+        rows,
+        title="Ablation: streaming batch sweep (ResNet-50)",
+    )
+    record_report("ablation_batch", text)
+    by_batch = {r[0]: r for r in rows}
+    # Tuning energy amortizes ~linearly with batch.
+    assert by_batch[1][2] > 50 * by_batch[64][2]
+    # Per-inference energy decreases monotonically with batch.
+    energies = [r[1] for r in rows]
+    assert all(a >= b for a, b in zip(energies, energies[1:]))
+    # At batch 1 tuning dominates Trident's energy (the Table III story).
+    assert by_batch[1][2] > 0.5 * by_batch[1][1]
+    # Throughput grows with batch then saturates near the streaming bound.
+    assert by_batch[256][3] > by_batch[1][3]

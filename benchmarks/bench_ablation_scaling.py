@@ -1,0 +1,47 @@
+"""Ablation: power-budget sweep (how throughput scales with the PE count).
+
+The paper fixes 30 W; edge deployments span 5-60 W.  This sweep checks the
+scaling behaviour the paper's Sec. V-A argument relies on ("the more energy
+efficient tuning method allows Trident to scale to more PEs").
+"""
+
+import numpy as np
+
+from repro.baselines import photonic_baselines
+from repro.dataflow.cost_model import PhotonicCostModel
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+BUDGETS_W = (5.0, 10.0, 20.0, 30.0, 45.0, 60.0)
+
+
+def scaling_sweep():
+    net = build_model("resnet50")
+    rows = []
+    for budget in BUDGETS_W:
+        row = [budget]
+        for arch in photonic_baselines(budget):
+            cost = PhotonicCostModel(arch, batch=128).model_cost(net)
+            row.extend([arch.n_pes, cost.inferences_per_second])
+        rows.append(row)
+    return rows
+
+
+def test_ablation_power_scaling(benchmark, record_report):
+    rows = benchmark.pedantic(scaling_sweep, rounds=1, iterations=1)
+    headers = ["budget (W)"]
+    for name in ("trident", "deap-cnn", "crosslight", "pixel"):
+        headers.extend([f"{name} PEs", f"{name} inf/s"])
+    text = format_table(
+        headers, rows, title="Ablation: 30 W budget sweep (ResNet-50)"
+    )
+    record_report("ablation_scaling", text)
+    budgets = [r[0] for r in rows]
+    trident_ips = [r[2] for r in rows]
+    trident_pes = [r[1] for r in rows]
+    # Monotone scaling with budget.
+    assert all(np.diff(trident_pes) > 0)
+    assert all(np.diff(trident_ips) > 0)
+    # Trident keeps the PE-count lead at every budget.
+    for row in rows:
+        assert row[1] >= max(row[3], row[5], row[7]), row

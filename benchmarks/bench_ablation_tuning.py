@@ -1,0 +1,62 @@
+"""Ablation: swap Trident's GST tuning for thermal/electric tuning.
+
+Isolates the contribution of the paper's headline device choice: what does
+Trident lose if its weight banks are tuned thermally (DEAP-style) or
+electro-optically, everything else held fixed?
+"""
+
+from dataclasses import replace
+
+from conftest import comparison_text
+
+from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+from repro.devices.tuning import ElectricTuning, GSTTuning, ThermalTuning
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+
+def tuning_ablation(batch: int = 8):
+    """Per-inference cost of ResNet-50 under each tuning technology.
+
+    Small batch so programming energy is visible (edge single-stream use).
+    """
+    net = build_model("resnet50")
+    base = PhotonicArch.trident()
+    rows = []
+    for tuning in (GSTTuning(), ThermalTuning(), ElectricTuning()):
+        arch = replace(
+            base,
+            name=f"trident-{tuning.method.value}",
+            write_energy_per_cell_j=tuning.write_energy_j,
+            write_time_s=tuning.write_time_s,
+            hold_power_per_cell_w=tuning.hold_power_w,
+            weight_bits=tuning.bit_resolution,
+        )
+        cost = PhotonicCostModel(arch, batch=batch, charge_hold_power=True).model_cost(net)
+        rows.append(
+            [
+                tuning.method.value,
+                cost.energy_j * 1e3,
+                cost.inferences_per_second,
+                tuning.bit_resolution,
+                tuning.supports_training(),
+            ]
+        )
+    return rows
+
+
+def test_ablation_tuning_method(benchmark, record_report):
+    rows = benchmark.pedantic(tuning_ablation, rounds=1, iterations=1)
+    text = format_table(
+        ["tuning", "energy (mJ)", "inf/s", "bits", "trainable"],
+        rows,
+        title="Ablation: weight-bank tuning technology (ResNet-50, batch 8, honest hold power)",
+    )
+    record_report("ablation_tuning", text)
+    by_method = {r[0]: r for r in rows}
+    # GST must dominate: less energy and faster than both alternatives.
+    assert by_method["gst"][1] < by_method["thermal"][1]
+    assert by_method["gst"][1] < by_method["electric"][1]
+    assert by_method["gst"][2] > by_method["thermal"][2]
+    # Only GST reaches the 8 bits training needs.
+    assert by_method["gst"][4] and not by_method["thermal"][4]

@@ -1,0 +1,55 @@
+"""Analysis bench: optical link budget and ring design space.
+
+Not a paper figure — the physical scaling analysis behind the paper's
+16 x 16 bank choice: how SNR falls with splitter fan-out, what laser power
+8-bit outputs require, and where the ring-Q vs weight-range trade-off
+leaves the design.
+"""
+
+from repro.eval.formatting import format_table
+from repro.optics import LinkBudget, best_design, design_space
+
+
+def link_budget_tables():
+    budget = LinkBudget()
+    fanout = budget.scaling_table()
+    p8 = budget.required_channel_power_w(16, 16, 8)
+    p6 = budget.required_channel_power_w(16, 16, 6)
+    designs = design_space()
+    return fanout, p6, p8, designs
+
+
+def test_link_budget_and_ring_design(benchmark, record_report):
+    fanout, p6, p8, designs = benchmark.pedantic(
+        link_budget_tables, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["rows (1:J split)", "SNR (dB)", "achievable bits", "power at bank (uW)"],
+        [[r["rows"], r["snr_db"], r["achievable_bits"], r["power_at_bank_uw"]]
+         for r in fanout],
+        title="Link budget: fan-out sweep at 16 columns, 1 mW/channel",
+    )
+    text += (
+        f"\n\nrequired per-channel laser power (16x16 bank):"
+        f"\n  6-bit output: {p6 * 1e3:.2f} mW"
+        f"\n  8-bit output: {p8 * 1e3:.2f} mW\n\n"
+    )
+    text += format_table(
+        ["coupling", "patch (um)", "Q", "d_sym", "leakage (dB)", "viable"],
+        [[p.coupling, p.patch_length_m * 1e6, p.q_factor, p.d_sym,
+          p.worst_leakage_db, p.viable] for p in designs],
+        title="Ring/GST co-design space (16 channels at 1.6 nm)",
+    )
+    record_report("analysis_link_budget", text)
+
+    # SNR must fall monotonically with fan-out.
+    snrs = [r["snr_db"] for r in fanout]
+    assert all(a > b for a, b in zip(snrs, snrs[1:]))
+    # 8-bit outputs need more power than 6-bit, both milliwatt-class.
+    assert p8 > p6 > 0
+    # The design space contains viable signed-weight points and the
+    # documented Q/loss tension (some high-Q long-patch points not viable).
+    assert any(p.viable for p in designs)
+    assert any(not p.viable for p in designs)
+    best = best_design(designs)
+    assert best.viable and best.d_sym > 0

@@ -1,0 +1,54 @@
+"""Analysis bench: chip power vs time from the simulated tile schedule.
+
+Dynamically regenerates the paper's Sec. IV power story: while banks are
+being written the chip draws its full sized power (44 x 0.676 W ~ 29.7 W);
+once the GST holds the weights, power collapses to 44 x 0.113 W ~ 5 W
+(the "83.34 % drop").  The trace also proves the 30 W budget is respected
+at every instant, not just on average.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.cost_model import PhotonicArch
+from repro.dataflow.power_trace import power_trace
+from repro.dataflow.schedule_sim import simulate_layer
+from repro.dataflow.tiling import TileSchedule
+from repro.eval.formatting import format_table
+from repro.nn.layers import GEMMShape
+
+
+def trace_for_resident_layer():
+    """One full-bank tile set with long streaming (weights pre-loaded)."""
+    arch = PhotonicArch.trident()
+    schedule = TileSchedule(GEMMShape(m=44 * 16, k=16, n=5000), 16, 16)
+    sim = simulate_layer("resident", schedule, arch, batch=1)
+    trace = power_trace(sim, arch, n_samples=4000)
+    return arch, sim, trace
+
+
+def test_analysis_power_trace(benchmark, record_report):
+    arch, sim, trace = benchmark.pedantic(
+        trace_for_resident_layer, rounds=1, iterations=1
+    )
+    # Decimated trace rows for the artifact.
+    idx = np.linspace(0, trace.times_s.size - 1, 25).astype(int)
+    rows = [[trace.times_s[i] * 1e6, trace.power_w[i]] for i in idx]
+    text = format_table(
+        ["time (us)", "chip power (W)"],
+        rows,
+        title="Chip power trace: write burst then non-volatile streaming",
+    )
+    text += (
+        f"\n\npeak {trace.peak_w:.2f} W (budget 30 W); streaming plateau "
+        f"{arch.n_pes * arch.streaming_power_pe_w:.2f} W — the Table III "
+        "0.67 W -> 0.11 W per-PE drop, chip-wide."
+    )
+    record_report("analysis_power_trace", text)
+
+    assert trace.peak_w <= 30.0
+    assert trace.peak_w == pytest.approx(arch.n_pes * arch.sizing_power_pe_w, rel=0.01)
+    plateau_region = trace.power_w[int(0.5 * len(trace.power_w)) : int(0.9 * len(trace.power_w))]
+    assert np.allclose(plateau_region, arch.n_pes * arch.streaming_power_pe_w)
+    drop = 1 - arch.streaming_power_pe_w / arch.sizing_power_pe_w
+    assert drop == pytest.approx(0.8334, abs=0.001)

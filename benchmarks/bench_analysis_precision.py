@@ -1,0 +1,30 @@
+"""Analysis bench: accuracy vs weight bit-resolution.
+
+Quantifies Sec. II-B: low-resolution (thermally tuned) banks break
+*training* long before they break deployment.  In-situ SGD needs the
+weight grid fine enough that typical gradient steps survive re-quantization.
+"""
+
+from repro.analysis import precision_sweep
+from repro.eval.formatting import format_table
+
+
+def test_analysis_precision(benchmark, record_report):
+    points = benchmark.pedantic(
+        precision_sweep, kwargs={"bits_list": (2, 3, 4, 6, 8), "epochs": 8},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["bits", "deployed accuracy", "in-situ accuracy", "digital ceiling"],
+        [[p.bits, p.deployed_accuracy, p.insitu_accuracy, p.digital_accuracy]
+         for p in points],
+        title="Weight resolution vs accuracy (deployment vs in-situ training)",
+    )
+    record_report("analysis_precision", text)
+    by_bits = {p.bits: p for p in points}
+    # Training collapses at 2 bits while deployment merely degrades.
+    assert by_bits[2].insitu_accuracy < by_bits[2].deployed_accuracy - 0.1
+    # 6 and 8 bits both recover the ceiling at this scale; training is the
+    # resolution-hungry path.
+    assert by_bits[8].training_drop < 0.05
+    assert by_bits[4].insitu_accuracy > by_bits[2].insitu_accuracy + 0.2

@@ -1,0 +1,27 @@
+"""Analysis bench: parameter-sensitivity elasticities.
+
+Which device parameters actually move the headline metrics — the
+quantitative version of the paper's Table III emphasis.
+"""
+
+from repro.analysis import parameter_sensitivity
+from repro.eval.formatting import format_table
+
+
+def test_analysis_sensitivity(benchmark, record_report):
+    records = benchmark.pedantic(
+        parameter_sensitivity, kwargs={"model": "resnet50", "batch": 8},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["parameter", "energy elasticity", "latency elasticity"],
+        [[r.parameter, r.energy_elasticity, r.latency_elasticity] for r in records],
+        title="Elasticity of per-inference energy/latency (ResNet-50, batch 8, +/-20%)",
+    )
+    record_report("analysis_sensitivity", text)
+    by_name = {r.parameter: r for r in records}
+    # Latency rides on the symbol rate; energy splits between streaming
+    # power and (at small batch) tuning energy.
+    assert by_name["symbol_rate_hz"].latency_elasticity < -0.8
+    assert by_name["streaming_power_pe_w"].energy_elasticity > 0.3
+    assert by_name["write_energy_per_cell_j"].energy_elasticity > 0.05

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 3 (GST activation cell transfer function)."""
+
+import numpy as np
+from conftest import comparison_text
+
+from repro.eval.figures import fig3_activation_transfer
+
+
+def test_fig3_activation(benchmark, record_report):
+    report = benchmark(fig3_activation_transfer)
+    xs = np.array(list(report.series["input_energy_pj"].values()))
+    ys = np.array(list(report.series["output_energy_pj"].values()))
+    lines = [report.title, "-" * 60, "input_pJ  output_pJ"]
+    for x, y in zip(xs[::20], ys[::20]):
+        lines.append(f"{x:8.1f}  {y:9.3f}")
+    record_report(
+        "fig3_activation", "\n".join(lines) + comparison_text(report.comparisons)
+    )
+    assert report.max_relative_error() < 0.01
+    # Shape: flat-zero below threshold, strictly increasing above.
+    below = ys[xs < 430.0]
+    above = ys[xs > 440.0]
+    assert np.allclose(below, 0.0)
+    assert np.all(np.diff(above) > 0)

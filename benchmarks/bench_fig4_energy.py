@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 4 (photonic accelerators total energy, 5 CNNs)."""
+
+from conftest import comparison_text
+
+from repro.eval.figures import fig4_photonic_energy
+from repro.eval.formatting import format_table
+
+
+def test_fig4_energy(benchmark, record_report):
+    report = benchmark.pedantic(fig4_photonic_energy, rounds=1, iterations=1)
+    models = list(report.series["trident"])
+    rows = [
+        [arch] + [series[m] * 1e3 for m in models]
+        for arch, series in report.series.items()
+    ]
+    text = format_table(
+        ["architecture"] + [f"{m} (mJ)" for m in models], rows, title=report.title
+    )
+    record_report("fig4_energy", text + comparison_text(report.comparisons))
+    # Average improvements within 2 % of the paper's 16.4/43.5/43.4.
+    assert report.max_relative_error() < 0.02
+    # Trident wins on every model against every photonic baseline.
+    trident = report.series["trident"]
+    for name, series in report.series.items():
+        if name == "trident":
+            continue
+        for m in models:
+            assert series[m] > trident[m], (name, m)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 5 (Trident chip area breakdown)."""
+
+from conftest import comparison_text
+
+from repro.eval.figures import fig5_area_breakdown
+from repro.eval.formatting import format_table
+
+
+def test_fig5_area(benchmark, record_report):
+    report = benchmark(fig5_area_breakdown)
+    rows = [
+        [name, area, report.series["percentage"][name]]
+        for name, area in report.series["area_mm2"].items()
+    ]
+    text = format_table(
+        ["component", "area (mm^2)", "percentage"], rows, title=report.title
+    )
+    record_report("fig5_area", text + comparison_text(report.comparisons))
+    assert report.max_relative_error() < 0.005
+    # The paper's observation: TIAs dominate the floorplan.
+    shares = {
+        k: v for k, v in report.series["percentage"].items() if k != "Total"
+    }
+    assert max(shares, key=shares.get) == "TIA"

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig 6 (inferences/s, all seven accelerators)."""
+
+from conftest import comparison_text
+
+from repro.eval.figures import fig6_inferences_per_second
+from repro.eval.formatting import format_table
+
+
+def test_fig6_throughput(benchmark, record_report):
+    report = benchmark.pedantic(fig6_inferences_per_second, rounds=1, iterations=1)
+    models = list(report.series["trident"])
+    rows = [
+        [arch] + [series[m] for m in models]
+        for arch, series in report.series.items()
+    ]
+    text = format_table(
+        ["accelerator"] + [f"{m} (inf/s)" for m in models], rows, title=report.title
+    )
+    record_report("fig6_throughput", text + comparison_text(report.comparisons))
+    # All six average advantages within 3 % of the paper.
+    assert report.max_relative_error() < 0.03

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (tuning method comparison)."""
+
+from conftest import comparison_text
+
+from repro.eval.tables import table1_tuning
+
+
+def test_table1_tuning(benchmark, record_report):
+    report = benchmark(table1_tuning)
+    record_report("table1_tuning", report.text + comparison_text(report.comparisons))
+    # Device constants must match the paper exactly.
+    assert report.max_relative_error() < 1e-9

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table II and numerically verify each operating mode."""
+
+from repro.eval.tables import table2_mapping_check
+
+
+def test_table2_mapping(benchmark, record_report):
+    report = benchmark(table2_mapping_check)
+    record_report("table2_mapping", report.text)
+    # Every mode's hardware result matches the exact algebra to
+    # quantization precision.
+    for row in report.rows:
+        assert row[-1] < 0.05, row

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table III (per-PE power breakdown)."""
+
+from conftest import comparison_text
+
+from repro.eval.tables import table3_power
+
+
+def test_table3_power(benchmark, record_report):
+    report = benchmark(table3_power)
+    record_report("table3_power", report.text + comparison_text(report.comparisons))
+    # Paper rounds 0.676 W -> "0.67 W": allow 3 %.
+    assert report.max_relative_error() < 0.03

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table IV (Trident vs electronic accelerators)."""
+
+from conftest import comparison_text
+
+from repro.eval.tables import table4_tops
+
+
+def test_table4_tops(benchmark, record_report):
+    report = benchmark(table4_tops)
+    record_report("table4_tops", report.text + comparison_text(report.comparisons))
+    by_metric = {c.metric: c for c in report.comparisons}
+    assert by_metric["trident TOPS"].within < 0.01
+    # Note: we compare against 7.8/30 = 0.26 TOPS/W; the paper's quoted
+    # 0.29 is inconsistent with its own TOPS and power numbers.
+    assert by_metric["trident TOPS/W (7.8/30)"].within < 0.01

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table V (time to train 50,000 images).
+
+The Xavier column is calibrated to the paper (it encodes published Jetson
+behaviour); the Trident column is this library's mechanistic training cost
+model.  The paper's crossover — GoogleNet trains *slower* on Trident while
+VGG-16/ResNet-50 train faster — must emerge from the model.  MobileNetV2 is
+the documented deviation (depthwise outer products are retune-bound; see
+EXPERIMENTS.md).
+"""
+
+from conftest import comparison_text
+
+from repro.eval.tables import table5_training
+
+
+def test_table5_training(benchmark, record_report):
+    report = benchmark.pedantic(table5_training, rounds=1, iterations=1)
+    record_report("table5_training", report.text + comparison_text(report.comparisons))
+    rows = {r[0]: (r[1], r[2]) for r in report.rows}
+    # Sign pattern (3 of 4; MobileNetV2 deviates, documented).
+    assert rows["vgg16"][1] < rows["vgg16"][0]
+    assert rows["resnet50"][1] < rows["resnet50"][0]
+    assert rows["googlenet"][1] > rows["googlenet"][0]
+    # Magnitudes for the tile-dominated models.
+    by_metric = {c.metric: c for c in report.comparisons}
+    assert by_metric["googlenet trident time"].within < 0.25
+    assert by_metric["vgg16 trident time"].within < 0.25

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures under
+pytest-benchmark timing, asserts the paper-vs-measured tolerances, and
+writes the rendered report to ``benchmarks/results/`` so the artifacts are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_report(results_dir):
+    """Write a rendered report to benchmarks/results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def comparison_text(comparisons) -> str:
+    """Render paper-vs-measured records as appended lines."""
+    lines = ["", "paper vs measured:"]
+    for c in comparisons:
+        lines.append(
+            f"  {c.metric:32s} paper={c.paper_value:12.3f}  "
+            f"measured={c.measured_value:12.3f}  ({c.relative_error * 100:+.1f}%) {c.units}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""A tour of the photonic device models underneath Trident.
+
+Walks the physical stack bottom-up: GST states -> a PCM-loaded add-drop
+ring -> a WDM channel plan with crosstalk -> the GST activation transfer
+function (paper Fig 3) — printing small ASCII sweeps for each.
+
+Run:  python examples/device_physics_tour.py
+"""
+
+import numpy as np
+
+from repro.constants import NM
+from repro.devices.activation_cell import GSTActivationCell
+from repro.devices.gst import GSTCell, effective_index, patch_transmission
+from repro.devices.mrr import AddDropMRR
+from repro.devices.pcm_mrr import build_calibration
+from repro.devices.waveguide import WDMBus, WDMChannelPlan
+from repro.eval.formatting import format_table
+
+
+def ascii_curve(xs, ys, width: int = 48, label: str = "") -> str:
+    """Tiny horizontal bar-sweep rendering."""
+    lo, hi = float(np.min(ys)), float(np.max(ys))
+    span = hi - lo or 1.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bars = "#" * int(round((y - lo) / span * width))
+        lines.append(f"  {x:10.3f} | {bars} {y:.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    # --- 1. GST material states -------------------------------------------
+    fractions = np.linspace(0, 1, 9)
+    n_eff = effective_index(fractions)
+    t = patch_transmission(fractions, 0.3e-6)
+    print(
+        format_table(
+            ["crystalline fraction", "n_eff (real)", "n_eff (imag)", "patch transmission"],
+            [[float(c), float(n.real), float(n.imag), float(tt)]
+             for c, n, tt in zip(fractions, n_eff, t)],
+            title="1. GST effective medium (amorphous -> crystalline)",
+        )
+    )
+
+    # --- 2. A GST cell as an 8-bit memory ---------------------------------
+    cell = GSTCell()
+    levels = [0, 64, 127, 191, 254]
+    rows = []
+    for level in levels:
+        cell.program_level(level)
+        rows.append([level, cell.crystalline_fraction, cell.transmission()])
+    print()
+    print(
+        format_table(
+            ["programmed level", "crystalline fraction", "transmission"],
+            rows,
+            title="2. One GST cell across its 255-level range (8-bit weight)",
+        )
+    )
+
+    # --- 3. Add-drop ring spectrum with and without GST loss --------------
+    ring = AddDropMRR()
+    res = ring.geometry.nearest_resonance()
+    detune = np.linspace(-1.0, 1.0, 15) * NM
+    print("\n3. Add-drop ring drop-port spectrum (clean ring):")
+    print(ascii_curve(detune / NM, ring.drop(res + detune), label="  detuning (nm)"))
+    lossy = ring.with_extra_loss(0.7)
+    print("\n   ... with a crystalline GST patch (extra loss):")
+    print(ascii_curve(detune / NM, lossy.drop(res + detune), label="  detuning (nm)"))
+
+    # --- 4. Weight calibration curve ---------------------------------------
+    cal = build_calibration()
+    ws = np.linspace(-1, 1, 9)
+    print()
+    print(
+        format_table(
+            ["target weight", "crystalline fraction", "GST level"],
+            [[float(w), float(cal.weight_to_fraction(w)), int(cal.weights_to_levels(w))]
+             for w in ws],
+            title="4. Signed weight -> GST state calibration",
+        )
+    )
+
+    # --- 5. WDM crosstalk ----------------------------------------------------
+    bus = WDMBus(WDMChannelPlan(16))
+    print(
+        f"\n5. WDM bus: 16 channels at {bus.plan.spacing_m / NM:.1f} nm pitch, "
+        f"span {bus.plan.span_m / NM:.1f} nm, worst-case crosstalk "
+        f"{bus.worst_case_crosstalk_db():.1f} dB, insertion loss "
+        f"{bus.insertion_loss_db:.2f} dB"
+    )
+
+    # --- 6. The Fig 3 activation function -----------------------------------
+    act = GSTActivationCell()
+    energies = np.linspace(0, 1000e-12, 15)
+    outputs = act.response_energy(energies)
+    print("\n6. GST activation cell transfer function (paper Fig 3):")
+    print(ascii_curve(energies * 1e12, outputs * 1e12, label="  input pulse (pJ)"))
+    print(
+        f"\n   threshold = {act.config.threshold_j * 1e12:.0f} pJ, "
+        f"slope above threshold = {act.config.slope}"
+    )
+
+
+if __name__ == "__main__":
+    main()

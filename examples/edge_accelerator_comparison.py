@@ -1,0 +1,85 @@
+"""Scenario: choosing an edge accelerator for a camera pipeline.
+
+You have a 30 W power envelope and a CNN to run.  This script reproduces
+the paper's evaluation flow for any zoo model: scale every photonic
+architecture to the budget, model the commercial electronic boards, and
+print per-inference energy, throughput, and energy breakdowns.
+
+Run:  python examples/edge_accelerator_comparison.py [model] [budget_w]
+      model defaults to resnet50; budget to 30.
+"""
+
+import sys
+
+from repro.baselines import electronic_baselines, photonic_baselines
+from repro.dataflow.cost_model import PhotonicCostModel
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+
+def main(model_name: str = "resnet50", budget_w: float = 30.0) -> None:
+    net = build_model(model_name)
+    stats = net.stats()
+    print(
+        f"workload: {model_name} — {stats.total_macs / 1e9:.2f} GMACs, "
+        f"{stats.total_params / 1e6:.1f} M parameters, "
+        f"{stats.n_weight_layers} weight layers\n"
+    )
+
+    rows = []
+    breakdown_rows = []
+    for arch in photonic_baselines(budget_w):
+        cost = PhotonicCostModel(arch, batch=128).model_cost(net)
+        rows.append(
+            [
+                arch.name,
+                "photonic",
+                arch.n_pes,
+                cost.inferences_per_second,
+                cost.energy_j * 1e3,
+                cost.effective_tops,
+            ]
+        )
+        breakdown_rows.append(
+            [
+                arch.name,
+                cost.energy_component("tuning") * 1e3,
+                cost.energy_component("streaming") * 1e3,
+                cost.energy_component("conversion") * 1e3,
+                cost.energy_component("memory") * 1e3,
+            ]
+        )
+    for acc in electronic_baselines():
+        cost = acc.model_cost(net, batch=32)
+        rows.append(
+            [
+                acc.name,
+                "electronic",
+                "-",
+                cost.inferences_per_second,
+                cost.energy_j * 1e3,
+                cost.effective_tops,
+            ]
+        )
+
+    print(
+        format_table(
+            ["accelerator", "kind", "PEs", "inf/s", "energy/inf (mJ)", "eff. TOPS"],
+            rows,
+            title=f"Edge accelerator comparison at {budget_w:.0f} W ({model_name})",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["photonic arch", "tuning (mJ)", "streaming (mJ)", "conversion (mJ)", "memory (mJ)"],
+            breakdown_rows,
+            title="Where the photonic energy goes",
+        )
+    )
+
+
+if __name__ == "__main__":
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 30.0
+    main(model, budget)

@@ -1,0 +1,85 @@
+"""Scenario: a deployment-readiness reliability report.
+
+Before shipping a Trident-style accelerator into a product you want three
+numbers the datasheet's headline figures hide:
+
+1. **Wear-out** — which PCM population fails first and when (endurance);
+2. **Retention** — how often weights must be refreshed at the operating
+   temperature (drift);
+3. **Robustness** — how much accuracy the model loses across device
+   variation (Monte Carlo over programming error + detection noise).
+
+Run:  python examples/reliability_report.py [model]
+"""
+
+import sys
+
+from repro.analysis import endurance_report, variation_sweep
+from repro.analysis.aging import aging_sweep
+from repro.devices.drift import refresh_schedule
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+
+def main(model_name: str = "resnet50") -> None:
+    net = build_model(model_name)
+
+    # --- 1. Endurance ------------------------------------------------------
+    wear = endurance_report(net)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["weight-cell writes / inference", wear.weight_writes_per_inference],
+                ["activation firings / cell / inference",
+                 wear.activation_firings_per_inference],
+                ["weight-cell lifetime (years, full rate)",
+                 wear.weight_lifetime_years],
+                ["activation-cell lifetime (hours, full rate)",
+                 wear.activation_lifetime_hours],
+                ["limiting population", wear.limiting_population],
+            ],
+            title=f"1. PCM endurance — {model_name} at full-rate inference",
+        )
+    )
+
+    # --- 2. Retention -------------------------------------------------------
+    print()
+    print(
+        format_table(
+            ["temperature (C)", "refresh interval (days)"],
+            [[r["temperature_c"], r["refresh_interval_days"]]
+             for r in refresh_schedule()],
+            title="2. Weight refresh schedule (half-LSB drift budget, 8-bit)",
+        )
+    )
+    print("\n   accuracy decay without refresh at 85 C (reference task):")
+    for p in aging_sweep(temperature_c=85.0):
+        print(
+            f"     after {p.age_s / 86400:7.1f} days: accuracy {p.accuracy:.3f} "
+            f"(worst weight drift {p.worst_weight_drift:.3f})"
+        )
+
+    # --- 3. Variation robustness ---------------------------------------------
+    print()
+    rows = [
+        [p.programming_noise_levels, p.detection_noise_std,
+         p.mean_accuracy, p.worst_accuracy]
+        for p in variation_sweep(
+            programming_levels=(0.0, 2.0, 6.0),
+            detection_stds=(0.0, 0.1),
+            n_trials=4,
+        )
+    ]
+    print(
+        format_table(
+            ["programming noise (levels)", "detection noise (std)",
+             "mean accuracy", "worst accuracy"],
+            rows,
+            title="3. Accuracy under device variation (reference task, 4 instances)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "resnet50")

@@ -1,0 +1,72 @@
+"""Scenario: planning an on-device fine-tuning job (Table V, interactive).
+
+Given a CNN and a dataset size, estimate how long Trident needs to train it
+and how that compares to an NVIDIA AGX Xavier — including the per-pass
+breakdown that explains *why* (forward / gradient / outer-product /
+weight-update retuning).
+
+Run:  python examples/training_time_planner.py [model] [n_samples] [batch]
+      defaults: resnet50 50000 32
+"""
+
+import sys
+
+from repro.baselines.electronic import agx_xavier_training
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+from repro.training.latency import TrainingCostModel
+
+
+def main(model_name: str = "resnet50", n_samples: int = 50_000, batch: int = 32) -> None:
+    net = build_model(model_name)
+    tcm = TrainingCostModel(batch=batch)
+    costs = tcm.step_costs(net)
+
+    print(
+        format_table(
+            ["pass", "time/sample (ms)", "energy/sample (mJ)"],
+            [
+                ["forward", costs.forward_time_s * 1e3, costs.forward_energy_j * 1e3],
+                ["gradient vector (W^T, LDSU Hadamard)", costs.gradient_time_s * 1e3,
+                 costs.gradient_energy_j * 1e3],
+                ["outer product (dW)", costs.outer_time_s * 1e3, costs.outer_energy_j * 1e3],
+                ["weight update (GST retune)", costs.update_time_s * 1e3,
+                 costs.update_energy_j * 1e3],
+                ["total", costs.time_s * 1e3, costs.energy_j * 1e3],
+            ],
+            title=f"Trident training step breakdown: {model_name}, batch {batch}",
+        )
+    )
+    print(
+        f"\ntraining expansion over inference: "
+        f"{costs.expansion_over_inference:.2f}x"
+    )
+
+    trident_s = tcm.training_time_s(net, n_samples)
+    xavier = agx_xavier_training(model_name)
+    xavier_s = xavier.training_time_s(net, n_samples, batch=batch)
+    pct = (trident_s - xavier_s) / xavier_s * 100
+
+    print(
+        format_table(
+            ["accelerator", f"time for {n_samples} samples (s)"],
+            [
+                ["NVIDIA AGX Xavier", xavier_s],
+                ["Trident", trident_s],
+            ],
+            title="",
+        )
+    )
+    verdict = "faster" if pct < 0 else "slower"
+    print(f"\nTrident is {abs(pct):.1f}% {verdict} than Xavier on this job.")
+    print(
+        "(Models with many small layers pay proportionally more GST retuning "
+        "per pass — the paper's GoogleNet crossover.)"
+    )
+
+
+if __name__ == "__main__":
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 50_000
+    b = int(sys.argv[3]) if len(sys.argv) > 3 else 32
+    main(model, n, b)

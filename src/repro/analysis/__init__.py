@@ -1,0 +1,41 @@
+"""Extended analyses beyond the paper's evaluation.
+
+- :mod:`repro.analysis.variation` — Monte Carlo accuracy under device
+  variation (programming error + detection noise).
+- :mod:`repro.analysis.endurance` — PCM wear-out: how long weight cells and
+  activation cells last under inference/training workloads.
+- :mod:`repro.analysis.sensitivity` — elasticity of the headline metrics to
+  each device parameter.
+- :mod:`repro.analysis.precision` — accuracy vs weight bit-resolution (the
+  paper's 8-bit-training argument, quantified).
+"""
+
+from repro.analysis.aging import AgingPoint, aged_accuracy, aging_sweep
+from repro.analysis.endurance import EnduranceReport, endurance_report
+from repro.analysis.precision import PrecisionPoint, precision_sweep
+from repro.analysis.sensitivity import SensitivityRecord, parameter_sensitivity
+from repro.analysis.robust_training import NoiseAwareMLP
+from repro.analysis.thermal_deployment import (
+    ThermalDeploymentPoint,
+    thermal_vs_gst_deployment,
+    thermally_deployed_weights,
+)
+from repro.analysis.variation import VariationPoint, variation_sweep
+
+__all__ = [
+    "aged_accuracy",
+    "AgingPoint",
+    "aging_sweep",
+    "endurance_report",
+    "EnduranceReport",
+    "parameter_sensitivity",
+    "precision_sweep",
+    "PrecisionPoint",
+    "SensitivityRecord",
+    "thermal_vs_gst_deployment",
+    "ThermalDeploymentPoint",
+    "thermally_deployed_weights",
+    "NoiseAwareMLP",
+    "variation_sweep",
+    "VariationPoint",
+]

@@ -1,0 +1,91 @@
+"""Network accuracy vs GST weight age (retention drift at temperature).
+
+Connects the device-level retention model to the NN level: deploy a trained
+network, let its programmed GST states age at an operating temperature, and
+measure accuracy as the weights creep toward crystalline.  A refresh
+(reprogramming from the control unit's digital shadow) restores accuracy
+exactly — quantifying the maintenance loop behind "non-volatile".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.drift import RetentionModel
+from repro.devices.pcm_mrr import build_calibration
+from repro.errors import ConfigError
+from repro.nn.datasets import Dataset
+from repro.nn.reference import DigitalMLP
+from repro.analysis.variation import make_reference_task
+
+
+@dataclass(frozen=True)
+class AgingPoint:
+    """Accuracy after one aging duration."""
+
+    age_s: float
+    temperature_c: float
+    accuracy: float
+    worst_weight_drift: float
+
+
+def aged_accuracy(
+    dims: list[int],
+    weights: list[np.ndarray],
+    test: Dataset,
+    age_s: float,
+    temperature_c: float,
+    model: RetentionModel | None = None,
+) -> tuple[float, float]:
+    """(accuracy, worst weight drift) after aging the deployed weights.
+
+    Weights are normalized per layer before programming (as the control
+    unit does), aged on the GST grid, and evaluated digitally with the
+    drifted values — isolating the retention effect from read noise.
+    """
+    if age_s < 0:
+        raise ConfigError("age must be non-negative")
+    model = model or RetentionModel()
+    calibration = build_calibration()
+    t_k = temperature_c + 273.15
+    aged_net = DigitalMLP(dims, activation="gst", seed=0)
+    worst = 0.0
+    aged_weights = []
+    for w in weights:
+        scale = max(1.0, float(np.max(np.abs(w))))
+        norm = w / scale
+        aged_norm = model.aged_weights(norm, age_s, t_k, calibration)
+        worst = max(worst, float(np.max(np.abs(aged_norm - norm))))
+        aged_weights.append(aged_norm * scale)
+    aged_net.weights = aged_weights
+    return aged_net.accuracy(test.x, test.y), worst
+
+
+def aging_sweep(
+    ages_s: tuple[float, ...] = (0.0, 3e5, 1e6, 3e6, 1e7, 3e7),
+    temperature_c: float = 85.0,
+    seed: int = 5,
+    model: RetentionModel | None = None,
+) -> list[AgingPoint]:
+    """Accuracy decay curve at one operating temperature.
+
+    Uses the shared reference task/trained network from the variation
+    analysis, so results are directly comparable.
+    """
+    if not ages_s:
+        raise ConfigError("need at least one age")
+    dims, mlp, test = make_reference_task(seed)
+    points = []
+    for age in sorted(ages_s):
+        acc, drift = aged_accuracy(dims, mlp.weights, test, age, temperature_c, model)
+        points.append(
+            AgingPoint(
+                age_s=age,
+                temperature_c=temperature_c,
+                accuracy=acc,
+                worst_weight_drift=drift,
+            )
+        )
+    return points

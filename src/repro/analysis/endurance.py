@@ -1,0 +1,125 @@
+"""PCM wear-out analysis.
+
+The paper notes (Sec. III-C) that "the number of operation cycles is
+eventually limited by the endurance of the PCM cells" and argues a
+trillion-cycle rating makes this a non-issue.  This analysis quantifies it
+per workload, for both PCM populations:
+
+- **weight cells** switch when banks are (re)programmed: once per tile
+  residency during inference tile-swapping, and ~3x per batch during
+  training (gradient retune, outer-product operands, weight update);
+- **activation cells** switch on *every firing event* — once per
+  above-threshold output element — and must be recrystallized each time.
+
+The activation population turns out to be the hot one: it cycles orders of
+magnitude faster than the weight banks, and the trillion-cycle budget buys
+hours-to-days of full-rate inference, not years.  EXPERIMENTS.md discusses
+this as an extension finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+from repro.dataflow.tiling import TileSchedule
+from repro.devices.gst import DEFAULT_ENDURANCE_CYCLES
+from repro.errors import ConfigError
+from repro.nn.graph import Network
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class EnduranceReport:
+    """Wear-out figures for one model on one architecture."""
+
+    model: str
+    #: Mean weight-cell writes per inference (tile swapping).
+    weight_writes_per_inference: float
+    #: Mean firings per activation cell per inference.
+    activation_firings_per_inference: float
+    #: Inferences until the average weight cell hits its endurance rating.
+    weight_lifetime_inferences: float
+    #: Inferences until the average activation cell hits its rating.
+    activation_lifetime_inferences: float
+    #: Wall-clock lifetimes at the architecture's own throughput [s].
+    weight_lifetime_s: float
+    activation_lifetime_s: float
+    endurance_cycles: int
+
+    @property
+    def weight_lifetime_years(self) -> float:
+        """Weight-cell lifetime in years at the modeled throughput."""
+        return self.weight_lifetime_s / SECONDS_PER_YEAR
+
+    @property
+    def activation_lifetime_hours(self) -> float:
+        """Activation-cell lifetime in hours at the modeled throughput."""
+        return self.activation_lifetime_s / 3600.0
+
+    @property
+    def limiting_population(self) -> str:
+        """Which PCM population wears out first."""
+        return (
+            "activation"
+            if self.activation_lifetime_s < self.weight_lifetime_s
+            else "weight"
+        )
+
+
+def endurance_report(
+    network: Network,
+    arch: PhotonicArch | None = None,
+    batch: int = 128,
+    endurance_cycles: int = DEFAULT_ENDURANCE_CYCLES,
+    firing_probability: float = 0.5,
+) -> EnduranceReport:
+    """Wear-out analysis for steady-state inference on ``network``.
+
+    ``firing_probability`` is the fraction of outputs above the activation
+    threshold (ReLU nets typically sit near 0.5).
+    """
+    if endurance_cycles <= 0:
+        raise ConfigError("endurance must be positive")
+    if not 0 < firing_probability <= 1:
+        raise ConfigError("firing probability must be in (0, 1]")
+    arch = arch or PhotonicArch.trident()
+    cost = PhotonicCostModel(arch, batch=batch).model_cost(network)
+
+    total_weight_cells = arch.n_pes * arch.bank_rows * arch.bank_cols
+    total_activation_cells = arch.n_pes * arch.bank_rows
+
+    # Weight writes per inference: every tile's cells reprogrammed once per
+    # batch residency.
+    stats = network.stats()
+    cells_written = 0
+    fired_outputs = 0.0
+    for record in stats.layers:
+        if record.gemm is None:
+            continue
+        schedule = TileSchedule(record.gemm, arch.bank_rows, arch.bank_cols)
+        cells_written += schedule.cells
+        if record.fused_activation:
+            fired_outputs += schedule.output_elements * firing_probability
+
+    weight_writes_per_inf = cells_written / batch / total_weight_cells
+    act_firings_per_inf = fired_outputs / total_activation_cells
+
+    weight_lifetime_inf = (
+        endurance_cycles / weight_writes_per_inf if weight_writes_per_inf > 0 else float("inf")
+    )
+    act_lifetime_inf = (
+        endurance_cycles / act_firings_per_inf if act_firings_per_inf > 0 else float("inf")
+    )
+    ips = cost.inferences_per_second
+    return EnduranceReport(
+        model=network.name,
+        weight_writes_per_inference=weight_writes_per_inf,
+        activation_firings_per_inference=act_firings_per_inf,
+        weight_lifetime_inferences=weight_lifetime_inf,
+        activation_lifetime_inferences=act_lifetime_inf,
+        weight_lifetime_s=weight_lifetime_inf / ips,
+        activation_lifetime_s=act_lifetime_inf / ips,
+        endurance_cycles=endurance_cycles,
+    )

@@ -1,0 +1,127 @@
+"""Deploying a network on *thermally tuned* banks: accuracy consequences.
+
+Connects :mod:`repro.devices.thermal_crosstalk` to the NN level.  A
+thermally tuned weight is a resonance shift driven by a heater whose power
+leaks to neighbouring rings, so the realized weight of ring i depends on
+what its row-mates are programmed to — a pattern-dependent error that
+cannot be calibrated once, on top of the 6-bit quantization thermal banks
+are limited to.  GST banks (attenuation-tuned, 8-bit) have neither term.
+
+The deployment model, per weight-bank row (one heater strip):
+
+    drive_i   = (w_i + 1) / 2              (heater power encodes the shift)
+    drive'    = C @ drive                  (thermal coupling matrix)
+    w'_i      = clip(2 drive'_i - 1)       (realized weight)
+
+followed by quantization at the technology's bit width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.thermal_crosstalk import ThermalCrosstalkModel
+from repro.errors import ConfigError
+from repro.nn.quantization import UniformQuantizer
+from repro.nn.reference import DigitalMLP
+from repro.analysis.variation import make_reference_task
+
+
+def thermally_deployed_weights(
+    weights: np.ndarray,
+    model: ThermalCrosstalkModel,
+    bits: int = 6,
+) -> np.ndarray:
+    """Realized weights on a thermal bank (crosstalk + quantization).
+
+    ``weights`` is a (rows, cols) normalized matrix in [-1, 1]; the thermal
+    coupling acts along each row's heater strip (cols must match the
+    model's ring count).  Vectorized: one matmul for the whole matrix.
+    """
+    w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    if w.shape[1] != model.n_rings:
+        raise ConfigError(
+            f"weights have {w.shape[1]} columns but the thermal model has "
+            f"{model.n_rings} rings per row"
+        )
+    if np.any(np.abs(w) > 1 + 1e-12):
+        raise ConfigError("weights must lie in [-1, 1]")
+    quantizer = UniformQuantizer.from_bits(bits)
+    drives = (np.clip(w, -1, 1) + 1.0) / 2.0
+    realized = np.clip(2.0 * (drives @ model.coupling_matrix().T) - 1.0, -1.0, 1.0)
+    return quantizer.roundtrip(realized)
+
+
+@dataclass(frozen=True)
+class ThermalDeploymentPoint:
+    """Accuracy of one tuning technology / coupling configuration."""
+
+    label: str
+    adjacent_coupling: float
+    bits: int
+    accuracy: float
+    worst_weight_error: float
+
+
+def thermal_vs_gst_deployment(
+    couplings: tuple[float, ...] = (0.0035, 0.01, 0.03),
+    seed: int = 5,
+) -> list[ThermalDeploymentPoint]:
+    """Deploy the reference network on GST vs thermal banks.
+
+    Returns the GST (8-bit, crosstalk-free) point followed by thermal
+    points at increasing adjacent-heater coupling — the NN-level version
+    of the paper's Sec. II-B resolution argument.
+    """
+    if not couplings:
+        raise ConfigError("need at least one coupling value")
+    dims, mlp, test = make_reference_task(seed)
+    points = []
+
+    # GST: 8-bit quantization only.
+    q8 = UniformQuantizer.from_bits(8)
+    gst_net = DigitalMLP(dims, activation="gst", seed=0)
+    gst_weights = []
+    worst = 0.0
+    for w in mlp.weights:
+        scale = max(1.0, float(np.max(np.abs(w))))
+        realized = q8.roundtrip(w / scale)
+        worst = max(worst, float(np.max(np.abs(realized - w / scale))))
+        gst_weights.append(realized * scale)
+    gst_net.weights = gst_weights
+    points.append(
+        ThermalDeploymentPoint(
+            label="gst",
+            adjacent_coupling=0.0,
+            bits=8,
+            accuracy=gst_net.accuracy(test.x, test.y),
+            worst_weight_error=worst,
+        )
+    )
+
+    for coupling in couplings:
+        worst = 0.0
+        deployed = []
+        for w in mlp.weights:
+            scale = max(1.0, float(np.max(np.abs(w))))
+            norm = w / scale
+            model = ThermalCrosstalkModel(
+                n_rings=norm.shape[1], adjacent_coupling=coupling
+            )
+            realized = thermally_deployed_weights(norm, model, bits=6)
+            worst = max(worst, float(np.max(np.abs(realized - norm))))
+            deployed.append(realized * scale)
+        net = DigitalMLP(dims, activation="gst", seed=0)
+        net.weights = deployed
+        points.append(
+            ThermalDeploymentPoint(
+                label=f"thermal@{coupling:g}",
+                adjacent_coupling=coupling,
+                bits=6,
+                accuracy=net.accuracy(test.x, test.y),
+                worst_weight_error=worst,
+            )
+        )
+    return points

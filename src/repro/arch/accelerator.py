@@ -1,0 +1,333 @@
+"""The Trident accelerator: PE chain, layer mapping, functional execution.
+
+This module is the *functional* top level: real numbers flow through the
+quantized, noisy photonic models.  Networks whose layers fit a single PE
+(the in-situ training scenario) map one PE per layer, exactly as the paper
+describes ("by assigning one PE to each layer of a NN"); larger dense layers
+are tiled across a PE's bank with electronic partial-sum accumulation.  The
+CNN-scale energy/latency analysis lives in :mod:`repro.dataflow` — same
+device parameters, analytical roll-up.
+
+Analog range management: every vector entering a bank is normalized into
+[-1, 1] (the E/O encoder's range) and every weight matrix is normalized to
+unit max before quantization; the control unit tracks the scales and
+restores them after detection.  Because the GST activation is positively
+homogeneous (slope * max(0, h)), normalization commutes with it and the
+chain stays exact up to quantization + noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import TridentConfig
+from repro.arch.control import ControlUnit, OperatingMode, RangeNormalizer
+from repro.arch.pe import ProcessingElement
+from repro.arch.weight_bank import BankStats, WeightBank
+from repro.devices.noise import NoiseModel
+from repro.devices.photodetector import BalancedPhotodetector
+from repro.errors import MappingError, ShapeError
+
+
+@dataclass
+class EventCounters:
+    """Aggregated hardware events for a functional run."""
+
+    bank_writes: int = 0
+    cells_written: int = 0
+    symbols: int = 0
+    activation_events: int = 0
+    mode_switches: int = 0
+
+    def snapshot(self) -> "EventCounters":
+        """Copy of the current counters (for before/after deltas)."""
+        return EventCounters(
+            bank_writes=self.bank_writes,
+            cells_written=self.cells_written,
+            symbols=self.symbols,
+            activation_events=self.activation_events,
+            mode_switches=self.mode_switches,
+        )
+
+
+@dataclass
+class MappedLayer:
+    """A dense layer mapped onto PE bank tiles."""
+
+    index: int
+    out_dim: int
+    in_dim: int
+    apply_activation: bool
+    #: (row_start, row_stop, col_start, col_stop, pe_index) per tile.
+    tiles: list[tuple[int, int, int, int, int]]
+    #: Digital shadow of the true weights (the control unit's copy).
+    weights: np.ndarray | None = None
+    #: Scale dividing the true weights into [-1, 1].
+    weight_scale: float = 1.0
+    #: Forward-pass bookkeeping for training.
+    last_input: np.ndarray | None = None
+    last_logits: np.ndarray | None = None
+
+
+class TridentAccelerator:
+    """Functional Trident instance."""
+
+    def __init__(
+        self,
+        config: TridentConfig | None = None,
+        noise: NoiseModel | None = None,
+        programming_noise_levels: float = 0.0,
+    ) -> None:
+        self.config = config or TridentConfig()
+        self.noise = noise or NoiseModel.ideal()
+        if programming_noise_levels < 0:
+            raise MappingError("programming noise must be non-negative")
+        self.programming_noise_levels = programming_noise_levels
+        self.control = ControlUnit()
+        self.pes: list[ProcessingElement] = []
+        self.layers: list[MappedLayer] = []
+        self.counters = EventCounters()
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def _new_pe(self) -> ProcessingElement:
+        pe = ProcessingElement(
+            bank=WeightBank(
+                rows=self.config.bank_rows,
+                cols=self.config.bank_cols,
+                tuning=self.config.tuning,
+                noise=self.noise,
+                programming_noise_levels=self.programming_noise_levels,
+            ),
+            bpd=BalancedPhotodetector(noise=self.noise),
+        )
+        self.pes.append(pe)
+        return pe
+
+    def map_mlp(self, dims: list[int], activate_last: bool = False) -> None:
+        """Map a fully connected network given its layer widths.
+
+        ``dims = [n_in, n_h1, ..., n_out]`` creates len(dims)-1 layers.
+        Each layer gets ceil(out/J) x ceil(in/N) tiles, one PE per tile
+        (the paper's one-PE-per-layer mapping is the single-tile case).
+        """
+        if len(dims) < 2:
+            raise MappingError("an MLP needs at least input and output widths")
+        if any(d < 1 for d in dims):
+            raise MappingError(f"layer widths must be positive, got {dims}")
+        self.pes = []
+        self.layers = []
+        self.counters = EventCounters()
+        J, N = self.config.bank_rows, self.config.bank_cols
+        total_tiles = 0
+        for k, (n_in, n_out) in enumerate(zip(dims[:-1], dims[1:])):
+            tiles = []
+            for r0 in range(0, n_out, J):
+                for c0 in range(0, n_in, N):
+                    pe_index = len(self.pes)
+                    self._new_pe()
+                    tiles.append((r0, min(r0 + J, n_out), c0, min(c0 + N, n_in), pe_index))
+            total_tiles += len(tiles)
+            last = k == len(dims) - 2
+            self.layers.append(
+                MappedLayer(
+                    index=k,
+                    out_dim=n_out,
+                    in_dim=n_in,
+                    apply_activation=(not last) or activate_last,
+                    tiles=tiles,
+                )
+            )
+        if total_tiles > self.config.n_pes:
+            raise MappingError(
+                f"network needs {total_tiles} PE tiles but the configuration "
+                f"has {self.config.n_pes} PEs; enlarge the config or shrink "
+                "the network (the CNN-scale path is repro.dataflow)"
+            )
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Program true-valued weight matrices (one per mapped layer)."""
+        if len(weights) != len(self.layers):
+            raise MappingError(
+                f"got {len(weights)} weight matrices for {len(self.layers)} layers"
+            )
+        for layer, w in zip(self.layers, weights):
+            self._program_layer(layer, np.asarray(w, dtype=np.float64))
+
+    def _program_layer(self, layer: MappedLayer, weights: np.ndarray) -> None:
+        if weights.shape != (layer.out_dim, layer.in_dim):
+            raise ShapeError(
+                f"layer {layer.index} expects weights "
+                f"({layer.out_dim}, {layer.in_dim}), got {weights.shape}"
+            )
+        peak = float(np.max(np.abs(weights))) if weights.size else 0.0
+        scale = peak if peak > 1.0 else 1.0
+        norm = weights / scale
+        for r0, r1, c0, c1, pe_index in layer.tiles:
+            self.pes[pe_index].program_weights(norm[r0:r1, c0:c1])
+            self.counters.bank_writes += 1
+            self.counters.cells_written += (r1 - r0) * (c1 - c0)
+        layer.weights = weights.copy()
+        layer.weight_scale = scale
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, record: bool = False) -> np.ndarray:
+        """Run one input vector through the mapped network.
+
+        Returns the final-layer output in true (denormalized) units.  With
+        ``record`` the per-layer inputs/logits are kept for a training step.
+        """
+        if not self.layers:
+            raise MappingError("map a network before calling forward()")
+        if self.control.set_mode(OperatingMode.INFERENCE):
+            self.counters.mode_switches += 1
+        value = np.asarray(x, dtype=np.float64)
+        if value.shape != (self.layers[0].in_dim,):
+            raise ShapeError(
+                f"input shape {value.shape} != ({self.layers[0].in_dim},)"
+            )
+        for layer in self.layers:
+            if layer.weights is None:
+                raise MappingError(f"layer {layer.index} has no programmed weights")
+            if record:
+                layer.last_input = value.copy()
+            enc = RangeNormalizer.normalize(value)
+            logits_norm = np.zeros(layer.out_dim, dtype=np.float64)
+            single_tile = len(layer.tiles) == 1
+            for r0, r1, c0, c1, pe_index in layer.tiles:
+                pe = self.pes[pe_index]
+                part = pe.forward(
+                    enc.values[c0:c1],
+                    apply_activation=False,
+                    capture_derivative=single_tile,
+                )
+                logits_norm[r0:r1] += part
+                self.counters.symbols += 1
+            logits = logits_norm * enc.scale * layer.weight_scale
+            if record:
+                layer.last_logits = logits.copy()
+            if layer.apply_activation:
+                # Positive homogeneity lets the cell act on true-scaled
+                # logits via its normalized transfer; count firing events
+                # on the first tile's cell.
+                cell = self.pes[layer.tiles[0][4]].activation
+                before = cell.firing_events
+                value = cell.fire(logits)
+                self.counters.activation_events += cell.firing_events - before
+            else:
+                value = logits
+        return value
+
+    def forward_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Forward a (B, n_in) batch.
+
+        When every layer fits a single PE tile the batch streams through
+        each bank as one vectorized ``matmat`` call (one symbol per sample
+        per layer — the physical streaming mode); tiled networks fall back
+        to the per-sample path.  Both paths produce identical results for
+        noise-free hardware; with noise enabled they differ only in draw
+        order.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2:
+            raise ShapeError(f"expected a 2-D batch, got shape {xs.shape}")
+        if not self.layers:
+            raise MappingError("map a network before calling forward_batch()")
+        if any(len(layer.tiles) != 1 for layer in self.layers):
+            return np.stack([self.forward(row) for row in xs])
+        if xs.shape[1] != self.layers[0].in_dim:
+            raise ShapeError(
+                f"batch width {xs.shape[1]} != ({self.layers[0].in_dim},)"
+            )
+        if self.control.set_mode(OperatingMode.INFERENCE):
+            self.counters.mode_switches += 1
+        batch = xs.shape[0]
+        value = xs.T  # (features, batch)
+        for layer in self.layers:
+            if layer.weights is None:
+                raise MappingError(f"layer {layer.index} has no programmed weights")
+            # Per-sample encode scales (the E/O stage normalizes each
+            # sample independently).
+            scales = np.maximum(np.max(np.abs(value), axis=0), 1.0)
+            pe = self.pes[layer.tiles[0][4]]
+            diff = pe.bank.matmat(value / scales)
+            logits = pe.bpd.detect_normalized(diff) * scales * layer.weight_scale
+            self.counters.symbols += batch
+            if layer.apply_activation:
+                cell = pe.activation
+                before = cell.firing_events
+                value = cell.fire(logits)
+                self.counters.activation_events += cell.firing_events - before
+            else:
+                value = logits
+        return value.T
+
+    # ------------------------------------------------------------------
+    # Cost accounting (functional runs)
+    # ------------------------------------------------------------------
+    def energy_estimate_j(self) -> float:
+        """Energy of everything executed so far, from Table III components.
+
+        Bank writes cost their pulse energy (write power x write time ==
+        cells x 660 pJ — the device- and system-level views agree); each
+        streamed symbol costs the per-PE streaming power over one symbol
+        period; activation firings cost the reset energy.
+        """
+        stats = self.bank_stats()
+        symbol_energy = self.config.pe_streaming_power_w / self.config.symbol_rate_hz
+        reset = sum(pe.activation.reset_energy_spent_j for pe in self.pes)
+        return stats.write_energy_j + stats.symbols * symbol_energy + reset
+
+    def time_estimate_s(self) -> float:
+        """Serialized wall-clock estimate: writes + symbol streaming."""
+        stats = self.bank_stats()
+        return (
+            stats.write_events * self.config.tuning.write_time()
+            + stats.symbols / self.config.symbol_rate_hz
+        )
+
+    def bank_stats(self) -> BankStats:
+        """Merged programming/usage counters across all PEs."""
+        merged = BankStats()
+        for pe in self.pes:
+            merged = merged.merge(pe.bank.stats)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Layer pipelining (paper Fig 1: PE-to-PE optical forwarding)
+    # ------------------------------------------------------------------
+    def pipeline_latency_s(self) -> float:
+        """Single-sample latency with layers chained optically.
+
+        One PE per layer: a sample's layer-k output re-encodes onto fresh
+        wavelengths and feeds PE k+1 directly — no memory round-trip.  The
+        latency is one symbol period per single-tile layer (plus one per
+        reduction tile when a layer spans several PEs, since electronic
+        partial accumulation must complete first).
+        """
+        if not self.layers:
+            raise MappingError("map a network before estimating latency")
+        total_symbols = 0
+        J, N = self.config.bank_rows, self.config.bank_cols
+        for layer in self.layers:
+            tiles_k = -(-layer.in_dim // N)
+            total_symbols += tiles_k
+        return total_symbols / self.config.symbol_rate_hz
+
+    def pipeline_throughput(self) -> float:
+        """Steady-state samples/s with every PE stage busy.
+
+        The chain is a pipeline: a new sample enters each symbol period as
+        long as every layer owns its own PE tiles (the mapper guarantees
+        this), so throughput is one sample per slowest-stage symbol count.
+        """
+        if not self.layers:
+            raise MappingError("map a network before estimating throughput")
+        N = self.config.bank_cols
+        slowest = max(-(-layer.in_dim // N) for layer in self.layers)
+        return self.config.symbol_rate_hz / slowest

@@ -1,0 +1,123 @@
+"""Chip-area model: regenerates the Fig 5 breakdown.
+
+The paper reports 604.6 mm^2 for 44 PEs ("less than 1 square inch") with the
+TIAs consuming most of it (Sec. IV, Fig 5).  Component footprints below are
+sized from the devices the paper cites: 16 TIA/BPD receiver rows per PE, a
+60 um-radius activation ring per row, 5 um-radius weight MRRs on a 30 um
+pitch, the 0.092 x 0.085 mm^2 L1 cache macro the paper quotes, plus E/O
+lasers and waveguide routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import TridentConfig
+from repro.errors import ConfigError
+
+# Per-device footprints [mm^2].  TIA dominance is the paper's point.
+TIA_AREA_MM2 = 0.55
+EO_LASER_AREA_MM2 = 0.15
+BPD_AREA_MM2 = 0.04
+ACTIVATION_RING_AREA_MM2 = 0.0144  # (2 * 60 um)^2 bounding box
+WEIGHT_MRR_AREA_MM2 = 9.0e-4  # 30 um pitch incl. GST pad + drop bus
+LDSU_AREA_MM2 = 0.002
+CACHE_AREA_MM2 = 0.092 * 0.085  # quoted directly in Sec. IV
+ROUTING_AREA_MM2 = 1.4  # WDM bus, splitters, pads per PE
+
+
+@dataclass(frozen=True)
+class AreaComponent:
+    """One slice of the Fig 5 area breakdown."""
+
+    name: str
+    area_mm2: float
+    fraction: float
+
+    @property
+    def percentage(self) -> float:
+        """Share of the PE total, in percent."""
+        return self.fraction * 100.0
+
+
+@dataclass(frozen=True)
+class PEAreaBreakdown:
+    """Component areas for a single PE."""
+
+    components: tuple[AreaComponent, ...]
+    total_mm2: float
+
+    @classmethod
+    def from_config(cls, config: TridentConfig) -> "PEAreaBreakdown":
+        rows = config.bank_rows
+        raw = [
+            ("TIA", TIA_AREA_MM2 * rows),
+            ("E/O Laser", EO_LASER_AREA_MM2 * rows),
+            ("BPD", BPD_AREA_MM2 * rows),
+            ("GST Activation Cell", ACTIVATION_RING_AREA_MM2 * rows),
+            ("MRR Weight Bank", WEIGHT_MRR_AREA_MM2 * config.mrrs_per_pe),
+            ("LDSU", LDSU_AREA_MM2 * rows),
+            ("Cache", CACHE_AREA_MM2),
+            ("Waveguides and Routing", ROUTING_AREA_MM2),
+        ]
+        total = sum(a for _, a in raw)
+        if total <= 0:
+            raise ConfigError("PE area must be positive")
+        components = tuple(
+            AreaComponent(name=name, area_mm2=a, fraction=a / total) for name, a in raw
+        )
+        return cls(components=components, total_mm2=total)
+
+    def component(self, name: str) -> AreaComponent:
+        """Look a slice up by its Fig 5 name."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no area component named {name!r}")
+
+    @property
+    def dominant(self) -> AreaComponent:
+        """Largest slice — the paper's observation: the TIAs."""
+        return max(self.components, key=lambda c: c.area_mm2)
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Chip-level area queries (Fig 5 / Sec. IV)."""
+
+    config: TridentConfig
+
+    @property
+    def pe_breakdown(self) -> PEAreaBreakdown:
+        """Component areas for one PE."""
+        return PEAreaBreakdown.from_config(self.config)
+
+    @property
+    def chip_area_mm2(self) -> float:
+        """Total accelerator area (paper: 604.6 mm^2 for 44 PEs)."""
+        return self.pe_breakdown.total_mm2 * self.config.n_pes
+
+    @property
+    def fits_one_square_inch(self) -> bool:
+        """The paper's edge-suitability check: under 1 in^2 (645.16 mm^2)."""
+        return self.chip_area_mm2 < 25.4 * 25.4
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Fig 5 as data rows, scaled to the whole chip."""
+        breakdown = self.pe_breakdown
+        rows: list[dict[str, object]] = [
+            {
+                "component": c.name,
+                "area_mm2": c.area_mm2 * self.config.n_pes,
+                "percentage": c.percentage,
+            }
+            for c in breakdown.components
+        ]
+        rows.append(
+            {
+                "component": "Total",
+                "area_mm2": self.chip_area_mm2,
+                "percentage": 100.0,
+            }
+        )
+        return rows

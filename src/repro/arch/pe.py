@@ -1,0 +1,171 @@
+"""One Trident processing element (paper Fig 1, right).
+
+A PE is: a J x N PCM-MRR weight bank, J balanced photodetectors (one per
+row), J programmable-gain TIAs, one LDSU (J comparator+flip-flop rows), J
+E/O lasers re-encoding the row outputs onto fresh wavelengths, and J GST
+activation cells.  The same silicon computes three different products
+depending on the control unit's encoding (Table II):
+
+- :meth:`forward` — inference: y = f(W x), capturing f'(h) in the LDSU.
+- :meth:`gradient_vector` — training step 1: (W_{k+1}^T d_{k+1}) ⊙ f'(h_k),
+  the Hadamard realized by programming the TIA gains from the LDSU bits.
+- :meth:`outer_product` — training step 2: dW_k = d_k ⊗ y_{k-1}, streamed
+  one wavelength per symbol through the bank.
+
+All vector math is normalized to the analog [-1, 1] range; the accelerator's
+control unit owns the scale factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.weight_bank import WeightBank
+from repro.devices.activation_cell import GSTActivationCell
+from repro.devices.ldsu import LDSU
+from repro.devices.noise import NoiseModel
+from repro.devices.photodetector import BalancedPhotodetector
+from repro.devices.tia import TransimpedanceAmplifier
+from repro.errors import ShapeError
+
+
+@dataclass
+class ProcessingElement:
+    """Weight bank + row electronics + photonic activation."""
+
+    bank: WeightBank = field(default_factory=WeightBank)
+    bpd: BalancedPhotodetector = field(default_factory=BalancedPhotodetector)
+    ldsu: LDSU | None = None
+    activation: GSTActivationCell = field(default_factory=GSTActivationCell)
+    tias: list[TransimpedanceAmplifier] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ldsu is None:
+            self.ldsu = LDSU(n_rows=self.bank.rows)
+        elif self.ldsu.n_rows != self.bank.rows:
+            raise ShapeError(
+                f"LDSU rows {self.ldsu.n_rows} != bank rows {self.bank.rows}"
+            )
+        if not self.tias:
+            self.tias = [TransimpedanceAmplifier() for _ in range(self.bank.rows)]
+        elif len(self.tias) != self.bank.rows:
+            raise ShapeError(
+                f"need one TIA per row ({self.bank.rows}), got {len(self.tias)}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_noise(cls, noise: NoiseModel, rows: int = 16, cols: int = 16) -> "ProcessingElement":
+        """Convenience constructor wiring one noise model everywhere."""
+        return cls(
+            bank=WeightBank(rows=rows, cols=cols, noise=noise),
+            bpd=BalancedPhotodetector(noise=noise),
+        )
+
+    @property
+    def rows(self) -> int:
+        """Weight-bank row count (J)."""
+        return self.bank.rows
+
+    @property
+    def cols(self) -> int:
+        """Weight-bank column count (N)."""
+        return self.bank.cols
+
+    def program_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Program the weight matrix for whatever mode comes next."""
+        return self.bank.program(weights)
+
+    def _tia_gains(self) -> np.ndarray:
+        return np.array([t.gain for t in self.tias], dtype=np.float64)
+
+    def set_tia_gains(self, gains: np.ndarray) -> None:
+        """Program per-row TIA multipliers (vector of length rows)."""
+        gains = np.asarray(gains, dtype=np.float64)
+        if gains.shape != (self.bank.rows,):
+            raise ShapeError(
+                f"expected {self.bank.rows} gains, got shape {gains.shape}"
+            )
+        for tia, g in zip(self.tias, gains):
+            tia.set_gain(float(g))
+
+    def reset_tia_gains(self) -> None:
+        """Return every TIA to unit gain (inference / outer-product modes)."""
+        for tia in self.tias:
+            tia.set_gain(1.0)
+
+    # ------------------------------------------------------------------
+    # Mode 1: inference (Table II column 1)
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        apply_activation: bool = True,
+        capture_derivative: bool = True,
+    ) -> np.ndarray:
+        """y = f(W x): one analog symbol through the full row chain.
+
+        When ``capture_derivative`` the LDSU latches the comparator outputs
+        so a later backward pass can replay f'(h) — this is free (it happens
+        in parallel with the E/O re-encode).
+        """
+        diff = self.bank.matvec(x)  # per-row weighted sums
+        logits = self.bpd.detect_normalized(diff)
+        if capture_derivative:
+            padded = np.zeros(self.bank.rows, dtype=np.float64)
+            padded[: logits.shape[0]] = logits
+            self.ldsu.capture(padded)
+        if not apply_activation:
+            return logits
+        return self.activation.fire(logits)
+
+    # ------------------------------------------------------------------
+    # Mode 2: gradient vector (Table II column 2)
+    # ------------------------------------------------------------------
+    def gradient_vector(self, delta_next: np.ndarray) -> np.ndarray:
+        """d_k = (W_{k+1}^T d_{k+1}) ⊙ f'(h_k).
+
+        The bank must already hold W_{k+1}^T (the control unit reprograms it
+        before this call).  The Hadamard comes from the LDSU-programmed TIA
+        gains — no memory fetch of f'(h) (the paper's headline trick).
+        """
+        diff = self.bank.matvec(delta_next)
+        detected = self.bpd.detect_normalized(diff)
+        gains = self.ldsu.derivative_gains()[: detected.shape[0]]
+        return detected * gains
+
+    # ------------------------------------------------------------------
+    # Mode 3: outer product (Table II column 3)
+    # ------------------------------------------------------------------
+    def outer_product(self, delta_h: np.ndarray, y_prev: np.ndarray) -> np.ndarray:
+        """dW_k = d_k ⊗ y_{k-1} via the weight bank.
+
+        The bank is programmed column-constant with y_{k-1} (each ring of
+        row j holds y_{k-1}[j]); the elements of d_k stream one wavelength
+        per symbol, so symbol i reads out column i of (y ⊗ d^T), i.e. row i
+        of dW.  Costs len(d_k) symbols + one bank write.
+        """
+        delta_h = np.asarray(delta_h, dtype=np.float64)
+        y_prev = np.asarray(y_prev, dtype=np.float64)
+        if delta_h.ndim != 1 or y_prev.ndim != 1:
+            raise ShapeError("outer_product takes two vectors")
+        if y_prev.shape[0] > self.bank.rows:
+            raise ShapeError(
+                f"y_prev length {y_prev.shape[0]} exceeds bank rows {self.bank.rows}"
+            )
+        if delta_h.shape[0] > self.bank.cols:
+            raise ShapeError(
+                f"delta_h length {delta_h.shape[0]} exceeds bank cols {self.bank.cols}"
+            )
+        self.bank.program(np.tile(y_prev[:, None], (1, delta_h.shape[0])))
+        streamed = self.bank.matmat(np.diag(delta_h))  # (len(y), len(d))
+        detected = self.bpd.detect_normalized(streamed)
+        return detected.T  # (len(d), len(y)) == dW block
+
+    # ------------------------------------------------------------------
+    @property
+    def write_energy_j(self) -> float:
+        """Total programming energy spent by this PE's bank."""
+        return self.bank.stats.write_energy_j

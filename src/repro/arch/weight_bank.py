@@ -1,0 +1,338 @@
+"""J x N PCM-MRR weight bank — the vectorized heart of the functional sim.
+
+A bank is a matrix of add-drop rings, one wavelength per column, one
+BPD-terminated row per output.  The scalar physics lives in
+:mod:`repro.devices.pcm_mrr`; here the whole bank is represented by integer
+level arrays so programming and the analog matrix-vector product are single
+NumPy operations (per the HPC guides: no per-ring Python objects on the hot
+path — tests assert this array math agrees with the scalar device model).
+
+What the bank models:
+
+- **Quantization**: weights snap to the tuning technology's level grid
+  (255 levels for GST = 8-bit; 63 levels for thermal = 6-bit — the paper's
+  argument for why thermally tuned banks cannot train).
+- **Programming noise**: optional level-granularity perturbation on writes.
+- **WDM crosstalk**: optional leakage matrix mixing input channels.
+- **Write accounting**: every programming event's energy/time/cell count,
+  plus hold energy for volatile tuning technologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.noise import NoiseModel
+from repro.devices.pcm_mrr import WeightCalibration, build_calibration
+from repro.devices.tuning import GSTTuning, TuningModel
+from repro.errors import ProgrammingError, ShapeError
+
+
+@dataclass
+class BankStats:
+    """Cumulative programming/usage counters for one bank."""
+
+    write_events: int = 0
+    cells_written: int = 0
+    write_energy_j: float = 0.0
+    write_time_s: float = 0.0
+    symbols: int = 0
+
+    def merge(self, other: "BankStats") -> "BankStats":
+        """Combine counters (used when aggregating across PEs)."""
+        return BankStats(
+            write_events=self.write_events + other.write_events,
+            cells_written=self.cells_written + other.cells_written,
+            write_energy_j=self.write_energy_j + other.write_energy_j,
+            write_time_s=self.write_time_s + other.write_time_s,
+            symbols=self.symbols + other.symbols,
+        )
+
+
+class WeightBank:
+    """Programmable photonic weight matrix with quantized analog readout."""
+
+    def __init__(
+        self,
+        rows: int = 16,
+        cols: int = 16,
+        tuning: TuningModel | None = None,
+        noise: NoiseModel | None = None,
+        calibration: WeightCalibration | None = None,
+        crosstalk: np.ndarray | None = None,
+        programming_noise_levels: float = 0.0,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ShapeError(f"bank dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.tuning = tuning if tuning is not None else GSTTuning()
+        self.noise = noise if noise is not None else NoiseModel.ideal()
+        self._calibration = calibration
+        self.levels = self.tuning.levels
+        if programming_noise_levels < 0:
+            raise ProgrammingError("programming noise must be non-negative")
+        self.programming_noise_levels = programming_noise_levels
+        if crosstalk is not None:
+            crosstalk = np.asarray(crosstalk, dtype=np.float64)
+            if crosstalk.shape != (cols, cols):
+                raise ShapeError(
+                    f"crosstalk matrix must be {cols}x{cols}, got {crosstalk.shape}"
+                )
+        self.crosstalk = crosstalk
+
+        self._levels = np.zeros((rows, cols), dtype=np.int64)
+        self._realized = np.zeros((rows, cols), dtype=np.float64)
+        self._mask = np.zeros((rows, cols), dtype=bool)
+        self._stuck_mask = np.zeros((rows, cols), dtype=bool)
+        self._stuck_levels = np.zeros((rows, cols), dtype=np.int64)
+        self.stats = BankStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def calibration(self) -> WeightCalibration:
+        """Physical-layer calibration (built lazily; only needed for
+        fraction-level queries, not for the level-domain hot path)."""
+        if self._calibration is None:
+            self._calibration = build_calibration()
+        return self._calibration
+
+    @property
+    def weight_step(self) -> float:
+        """Smallest representable weight increment at this resolution."""
+        return 2.0 / (self.levels - 1)
+
+    # ------------------------------------------------------------------
+    def _quantize(self, weights: np.ndarray) -> np.ndarray:
+        scaled = (np.clip(weights, -1.0, 1.0) + 1.0) / 2.0 * (self.levels - 1)
+        return np.rint(scaled).astype(np.int64)
+
+    def _dequantize(self, levels: np.ndarray) -> np.ndarray:
+        return np.clip(levels / (self.levels - 1) * 2.0 - 1.0, -1.0, 1.0)
+
+    def program(self, weights: np.ndarray) -> np.ndarray:
+        """Program a weight matrix (or top-left sub-block) into the bank.
+
+        ``weights`` must be an (r, c) array with r <= rows, c <= cols and
+        entries in [-1, 1].  Unused cells are parked at weight 0 and excluded
+        from the MVM.  Returns the realized (quantized + noise) weights of
+        the programmed block.  One call = one parallel programming event.
+        """
+        w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        if w.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got ndim={w.ndim}")
+        r, c = w.shape
+        if r > self.rows or c > self.cols:
+            raise ShapeError(
+                f"block {r}x{c} does not fit bank {self.rows}x{self.cols}"
+            )
+        if np.any(np.abs(w) > 1.0 + 1e-9):
+            raise ProgrammingError("weights must lie in [-1, 1] (normalize first)")
+
+        levels = self._quantize(w)
+        noisy = self.noise.apply_programming_noise(levels, self.programming_noise_levels)
+        noisy = np.clip(noisy, 0, self.levels - 1)
+
+        self._levels[:] = 0
+        self._realized[:] = 0.0
+        self._mask[:] = False
+        self._levels[:r, :c] = np.rint(noisy).astype(np.int64)
+        self._realized[:r, :c] = self._dequantize(noisy)
+        self._mask[:r, :c] = True
+
+        if self._stuck_mask.any():
+            # Failed cells ignore the write and hold their stuck level.
+            self._levels[self._stuck_mask] = self._stuck_levels[self._stuck_mask]
+            realized_stuck = self._dequantize(
+                self._stuck_levels[self._stuck_mask].astype(np.float64)
+            )
+            self._realized[self._stuck_mask] = np.where(
+                self._mask[self._stuck_mask], realized_stuck, 0.0
+            )
+
+        n_cells = r * c
+        self.stats.write_events += 1
+        self.stats.cells_written += n_cells
+        self.stats.write_energy_j += self.tuning.write_energy(n_cells)
+        self.stats.write_time_s += self.tuning.write_time()
+        return self._realized[:r, :c].copy()
+
+    @property
+    def realized_weights(self) -> np.ndarray:
+        """Full (rows x cols) realized weight matrix (zeros where unused)."""
+        return self._realized.copy()
+
+    @property
+    def occupancy(self) -> tuple[int, int]:
+        """(r, c) shape of the currently programmed block."""
+        if not self._mask.any():
+            return (0, 0)
+        rows = int(self._mask.any(axis=1).sum())
+        cols = int(self._mask.any(axis=0).sum())
+        return (rows, cols)
+
+    # ------------------------------------------------------------------
+    def _effective_inputs(self, x: np.ndarray) -> np.ndarray:
+        if self.crosstalk is None:
+            return x
+        return self.crosstalk @ x
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Analog MVP: realized block times input vector (one symbol).
+
+        ``x`` must have length <= cols and entries in [-1, 1] (the E/O
+        encoder's range).  Returns the per-row differential signals before
+        detection — length = programmed row count.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ShapeError(f"input must be a vector, got shape {x.shape}")
+        r, c = self.occupancy
+        if x.shape[0] != c:
+            raise ShapeError(f"input length {x.shape[0]} != programmed columns {c}")
+        if np.any(np.abs(x) > 1.0 + 1e-9):
+            raise ProgrammingError("inputs must lie in [-1, 1] (normalize first)")
+        full = np.zeros(self.cols, dtype=np.float64)
+        full[:c] = x
+        eff = self._effective_inputs(full)
+        self.stats.symbols += 1
+        return self._realized[:r] @ eff
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Batched MVP: (cols_used, B) inputs -> (rows_used, B) outputs.
+
+        Counts B symbols; the physical bank streams one column per symbol.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ShapeError(f"input must be 2-D, got shape {x.shape}")
+        r, c = self.occupancy
+        if x.shape[0] != c:
+            raise ShapeError(f"input rows {x.shape[0]} != programmed columns {c}")
+        if np.any(np.abs(x) > 1.0 + 1e-9):
+            raise ProgrammingError("inputs must lie in [-1, 1] (normalize first)")
+        full = np.zeros((self.cols, x.shape[1]), dtype=np.float64)
+        full[:c] = x
+        eff = self._effective_inputs(full)
+        self.stats.symbols += x.shape[1]
+        return self._realized[:r] @ eff
+
+    # ------------------------------------------------------------------
+    def hold_energy(self, duration_s: float) -> float:
+        """Energy to hold the programmed weights for ``duration_s``.
+
+        Zero for GST (non-volatile); the thermal baselines pay
+        1.7 mW x cells x duration.
+        """
+        r, c = self.occupancy
+        return self.tuning.hold_energy(r * c, duration_s)
+
+    # ------------------------------------------------------------------
+    def inject_stuck_faults(
+        self,
+        fraction: float,
+        rng: np.random.Generator,
+        stuck_level: int | None = None,
+    ) -> int:
+        """Mark a random fraction of cells as stuck-at faults.
+
+        The classic PCM failure mode: a worn-out cell no longer switches
+        and holds one level forever (``stuck_level``; default is the
+        mid-grid level, i.e. weight 0 — a stuck-amorphous/crystalline cell
+        can be modeled by passing 0 or ``levels - 1``).  Faults apply to
+        every subsequent ``program`` call.  Returns the number of cells
+        newly stuck.  Yield/fault-tolerance studies drive this.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ProgrammingError(f"fraction must lie in [0, 1], got {fraction}")
+        level = (self.levels - 1) // 2 if stuck_level is None else stuck_level
+        if not 0 <= level < self.levels:
+            raise ProgrammingError(
+                f"stuck level must lie in [0, {self.levels - 1}], got {level}"
+            )
+        new = (rng.random((self.rows, self.cols)) < fraction) & ~self._stuck_mask
+        self._stuck_mask |= new
+        self._stuck_levels[new] = level
+        # Apply immediately to the currently programmed block.
+        apply = new & self._mask
+        self._levels[apply] = level
+        self._realized[apply] = self._dequantize(np.float64(level))
+        return int(new.sum())
+
+    @property
+    def stuck_fraction(self) -> float:
+        """Fraction of cells currently marked stuck."""
+        return float(self._stuck_mask.mean())
+
+
+def program_with_verify(
+    bank: WeightBank,
+    weights: np.ndarray,
+    writer,
+) -> tuple[np.ndarray, object]:
+    """Program a bank through an iterative program-and-verify controller.
+
+    Bridges :class:`WeightBank` and
+    :class:`repro.devices.program_verify.ProgramVerifyWriter`: targets are
+    the bank's quantized levels; the writer's achieved (noisy) levels become
+    the realized weights, and the bank's write accounting is corrected to
+    the *actual* pulse count the verify loop consumed.
+
+    Returns (realized weights of the programmed block, ProgramVerifyResult).
+    """
+    w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    realized = bank.program(w)  # establishes occupancy + one nominal write
+    r, c = w.shape
+    targets = bank._quantize(w).astype(np.float64)
+    result = writer.write(targets)
+    achieved = np.rint(np.clip(result.achieved_levels, 0, bank.levels - 1)).astype(
+        np.int64
+    )
+    bank._levels[:r, :c] = achieved
+    bank._realized[:r, :c] = bank._dequantize(achieved)
+    # Correct the nominal single-pulse accounting to the verify loop's
+    # actual cost (extra pulses cost energy and endurance; reads cost
+    # read energy; time grows by the extra write rounds).
+    extra_pulses = result.total_pulses - r * c
+    bank.stats.cells_written += extra_pulses
+    bank.stats.write_energy_j += (
+        extra_pulses * writer.config.write_energy_j
+        + result.total_reads * writer.config.read_energy_j
+    )
+    bank.stats.write_time_s += (int(result.pulses.max()) - 1) * bank.tuning.write_time()
+    return bank._realized[:r, :c].copy(), result
+
+
+def compensate_crosstalk(weights: np.ndarray, crosstalk: np.ndarray) -> np.ndarray:
+    """Pre-compensate a weight matrix for known WDM crosstalk.
+
+    With leakage matrix C (diag 1), a bank programmed with W realizes
+    ``y = W C x``.  Because C is deterministic and measurable, the control
+    unit can program ``W' = W C^{-1}`` instead, so the realized product is
+    exactly ``W x`` — the per-weight calibration step real broadcast-and-
+    weight systems perform (Tait et al., paper ref [32]).
+
+    Raises if C is singular or if compensation pushes weights outside the
+    programmable [-1, 1] range (then the leakage is too strong to absorb
+    at full weight swing — reduce the swing or the channel count).
+    """
+    c = np.asarray(crosstalk, dtype=np.float64)
+    if c.ndim != 2 or c.shape[0] != c.shape[1]:
+        raise ShapeError(f"crosstalk matrix must be square, got {c.shape}")
+    w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    if w.shape[1] != c.shape[0]:
+        raise ShapeError(
+            f"weights have {w.shape[1]} columns but crosstalk is {c.shape[0]}x{c.shape[0]}"
+        )
+    try:
+        compensated = np.linalg.solve(c.T, w.T).T
+    except np.linalg.LinAlgError as exc:
+        raise ProgrammingError(f"crosstalk matrix not invertible: {exc}") from exc
+    if np.max(np.abs(compensated)) > 1.0 + 1e-9:
+        raise ProgrammingError(
+            "crosstalk compensation exceeds the programmable weight range; "
+            "reduce weight swing or channel leakage"
+        )
+    return compensated

@@ -1,0 +1,46 @@
+"""Baseline accelerators the paper compares Trident against (Sec. IV).
+
+Photonic (parameter points of :class:`repro.dataflow.PhotonicArch`):
+
+- :mod:`repro.baselines.deap_cnn` — DEAP-CNN [2]: broadcast-and-weight,
+  thermally tuned MRRs, digital activation through ADCs.
+- :mod:`repro.baselines.crosslight` — CrossLight [31]: hybrid
+  thermo/electro-optic tuning, VCSEL + MRR summation stage.
+- :mod:`repro.baselines.pixel` — PIXEL [30]: MRR bitwise logic + MZM
+  analog accumulation (the 8-bit OO MAC variant).
+
+Electronic (spec-sheet rooflines):
+
+- :mod:`repro.baselines.electronic` — NVIDIA AGX Xavier, Bearkey TB96-AI,
+  Google Coral Dev Board.
+"""
+
+from repro.baselines.base import (
+    POWER_BUDGET_W,
+    SHARED_STREAMING_POWER_W,
+    TUNING_SLOT_POWER_W,
+    photonic_baselines,
+)
+from repro.baselines.crosslight import crosslight_arch
+from repro.baselines.deap_cnn import deap_cnn_arch
+from repro.baselines.electronic import (
+    agx_xavier,
+    bearkey_tb96,
+    electronic_baselines,
+    google_coral,
+)
+from repro.baselines.pixel import pixel_arch
+
+__all__ = [
+    "agx_xavier",
+    "bearkey_tb96",
+    "crosslight_arch",
+    "deap_cnn_arch",
+    "electronic_baselines",
+    "google_coral",
+    "photonic_baselines",
+    "pixel_arch",
+    "POWER_BUDGET_W",
+    "SHARED_STREAMING_POWER_W",
+    "TUNING_SLOT_POWER_W",
+]

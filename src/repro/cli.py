@@ -1,0 +1,331 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro table 3            # Table I-V
+    python -m repro fig 6              # Fig 3-6
+    python -m repro all                # every table and figure
+    python -m repro models             # zoo with MAC/parameter stats
+    python -m repro compare resnet50 --budget 30
+    python -m repro train-plan vgg16 --samples 50000
+    python -m repro link-budget --rows 16 --cols 16 --power-mw 1.0
+    python -m repro endurance resnet50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.eval.formatting import format_table
+
+
+def _comparisons_text(comparisons) -> str:
+    if not comparisons:
+        return ""
+    lines = ["", "paper vs measured:"]
+    for c in comparisons:
+        lines.append(
+            f"  {c.metric:32s} paper={c.paper_value:12.3f}  "
+            f"measured={c.measured_value:12.3f}  ({c.relative_error * 100:+.1f}%) {c.units}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers (each returns an exit code)
+# ---------------------------------------------------------------------------
+def cmd_table(args: argparse.Namespace) -> int:
+    """Regenerate one paper table (1-5)."""
+    from repro.eval import tables
+
+    generators = {
+        1: tables.table1_tuning,
+        2: tables.table2_mapping_check,
+        3: tables.table3_power,
+        4: tables.table4_tops,
+        5: tables.table5_training,
+    }
+    report = generators[args.number]()
+    print(report.text)
+    print(_comparisons_text(report.comparisons))
+    return 0
+
+
+def cmd_fig(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure (3-6)."""
+    from repro.eval import figures
+
+    generators = {
+        3: figures.fig3_activation_transfer,
+        4: figures.fig4_photonic_energy,
+        5: figures.fig5_area_breakdown,
+        6: figures.fig6_inferences_per_second,
+    }
+    report = generators[args.number]()
+    print(report.title)
+    if args.number == 3:
+        # Curve data: print a decimated sweep.
+        xs = list(report.series["input_energy_pj"].values())
+        ys = list(report.series["output_energy_pj"].values())
+        rows = [[x, y] for x, y in zip(xs[::20], ys[::20])]
+        print(format_table(["input (pJ)", "output (pJ)"], rows))
+    else:
+        names = list(report.series)
+        keys = list(report.series[names[0]])
+        rows = [[name] + [report.series[name][k] for k in keys] for name in names]
+        print(format_table(["series"] + keys, rows))
+    print(_comparisons_text(report.comparisons))
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    """Regenerate every table and figure."""
+    for n in (1, 2, 3, 4, 5):
+        cmd_table(argparse.Namespace(number=n))
+        print()
+    for n in (3, 4, 5, 6):
+        cmd_fig(argparse.Namespace(number=n))
+        print()
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List the CNN zoo with MAC/parameter statistics."""
+    from repro.nn import MODEL_BUILDERS, build_model
+
+    rows = []
+    for name in sorted(MODEL_BUILDERS):
+        stats = build_model(name).stats()
+        rows.append(
+            [
+                name,
+                stats.total_macs / 1e9,
+                stats.total_params / 1e6,
+                stats.n_weight_layers,
+                len(stats.layers),
+            ]
+        )
+    print(
+        format_table(
+            ["model", "GMACs", "Mparams", "weight layers", "total layers"],
+            rows,
+            title="Model zoo (224 x 224 x 3 inputs)",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare all seven accelerators on one model."""
+    from repro.baselines import electronic_baselines, photonic_baselines
+    from repro.dataflow.cost_model import PhotonicCostModel
+    from repro.nn import build_model
+
+    net = build_model(args.model)
+    rows = []
+    for arch in photonic_baselines(args.budget):
+        cost = PhotonicCostModel(arch, batch=args.batch).model_cost(net)
+        rows.append(
+            [arch.name, "photonic", arch.n_pes, cost.inferences_per_second,
+             cost.energy_j * 1e3, cost.effective_tops]
+        )
+    for acc in electronic_baselines():
+        cost = acc.model_cost(net, batch=32)
+        rows.append(
+            [acc.name, "electronic", "-", cost.inferences_per_second,
+             cost.energy_j * 1e3, cost.effective_tops]
+        )
+    print(
+        format_table(
+            ["accelerator", "kind", "PEs", "inf/s", "energy/inf (mJ)", "eff TOPS"],
+            rows,
+            title=f"{args.model} at {args.budget:.0f} W (batch {args.batch})",
+        )
+    )
+    return 0
+
+
+def cmd_train_plan(args: argparse.Namespace) -> int:
+    """Table V-style training-time estimate for one model."""
+    from repro.baselines.electronic import agx_xavier_training
+    from repro.nn import build_model
+    from repro.training.latency import TrainingCostModel
+
+    net = build_model(args.model)
+    tcm = TrainingCostModel(batch=args.batch)
+    costs = tcm.step_costs(net)
+    trident_s = tcm.training_time_s(net, args.samples)
+    xavier_s = agx_xavier_training(args.model).training_time_s(
+        net, args.samples, batch=args.batch
+    )
+    print(
+        format_table(
+            ["pass", "time/sample (ms)"],
+            [
+                ["forward", costs.forward_time_s * 1e3],
+                ["gradient vector", costs.gradient_time_s * 1e3],
+                ["outer product", costs.outer_time_s * 1e3],
+                ["weight update", costs.update_time_s * 1e3],
+            ],
+            title=f"Trident training step: {args.model}, batch {args.batch}",
+        )
+    )
+    print(
+        format_table(
+            ["accelerator", f"time for {args.samples} samples (s)"],
+            [["agx-xavier", xavier_s], ["trident", trident_s]],
+        )
+    )
+    return 0
+
+
+def cmd_link_budget(args: argparse.Namespace) -> int:
+    """Optical link budget for a bank configuration."""
+    from repro.optics import LinkBudget
+
+    budget = LinkBudget()
+    rep = budget.report(args.rows, args.cols, args.power_mw * 1e-3)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["bank", f"{rep.rows} x {rep.cols}"],
+                ["channel power (mW)", rep.channel_power_w * 1e3],
+                ["power at bank (uW)", rep.power_at_bank_w * 1e6],
+                ["full-scale current (uA)", rep.full_scale_current_a * 1e6],
+                ["shot noise (nA)", rep.shot_noise_a * 1e9],
+                ["thermal noise (nA)", rep.thermal_noise_a * 1e9],
+                ["SNR (dB)", rep.snr_db],
+                ["achievable bits", rep.achievable_bits],
+            ],
+            title="Optical link budget",
+        )
+    )
+    return 0
+
+
+def cmd_layers(args: argparse.Namespace) -> int:
+    """Per-layer cost table for one model."""
+    from repro.eval.layer_report import layer_cost_table
+
+    _, text = layer_cost_table(
+        args.model, arch_name=args.arch, batch=args.batch, top=args.top
+    )
+    print(text)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Write every table/figure as CSV artifacts."""
+    from repro.eval.export import export_all
+
+    written = export_all(args.dir)
+    for path in written:
+        print(path)
+    print(f"{len(written)} CSV artifacts written to {args.dir}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Consolidated paper-vs-measured summary."""
+    from repro.eval.summary import ReproductionSummary
+
+    summary = ReproductionSummary.collect()
+    print(summary.render())
+    return 0
+
+
+def cmd_endurance(args: argparse.Namespace) -> int:
+    """PCM wear-out analysis for one model."""
+    from repro.analysis import endurance_report
+    from repro.nn import build_model
+
+    rep = endurance_report(build_model(args.model))
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["weight-cell writes / inference", rep.weight_writes_per_inference],
+                ["activation firings / cell / inference", rep.activation_firings_per_inference],
+                ["weight-cell lifetime (years)", rep.weight_lifetime_years],
+                ["activation-cell lifetime (hours)", rep.activation_lifetime_hours],
+                ["limiting population", rep.limiting_population],
+            ],
+            title=f"PCM endurance: {args.model} at full-rate inference",
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Trident reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table", help="regenerate a paper table (1-5)")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("fig", help="regenerate a paper figure (3-6)")
+    p.add_argument("number", type=int, choices=(3, 4, 5, 6))
+    p.set_defaults(func=cmd_fig)
+
+    p = sub.add_parser("all", help="every table and figure")
+    p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser("models", help="list the CNN zoo")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("compare", help="compare all accelerators on a model")
+    p.add_argument("model")
+    p.add_argument("--budget", type=float, default=30.0)
+    p.add_argument("--batch", type=int, default=128)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("train-plan", help="training-time estimate (Table V style)")
+    p.add_argument("model")
+    p.add_argument("--samples", type=int, default=50_000)
+    p.add_argument("--batch", type=int, default=32)
+    p.set_defaults(func=cmd_train_plan)
+
+    p = sub.add_parser("link-budget", help="optical link budget for a bank")
+    p.add_argument("--rows", type=int, default=16)
+    p.add_argument("--cols", type=int, default=16)
+    p.add_argument("--power-mw", type=float, default=1.0)
+    p.set_defaults(func=cmd_link_budget)
+
+    p = sub.add_parser("layers", help="per-layer cost table for a model")
+    p.add_argument("model")
+    p.add_argument("--arch", default="trident",
+                   choices=("trident", "deap-cnn", "crosslight", "pixel"))
+    p.add_argument("--batch", type=int, default=128)
+    p.add_argument("--top", type=int, default=12)
+    p.set_defaults(func=cmd_layers)
+
+    p = sub.add_parser("report", help="paper-vs-measured summary for everything")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("export", help="write every table/figure as CSV")
+    p.add_argument("--dir", default="artifacts")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("endurance", help="PCM wear-out analysis for a model")
+    p.add_argument("model")
+    p.set_defaults(func=cmd_endurance)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Physical constants and unit helpers.
+
+All quantities inside the library are SI (seconds, joules, watts, meters,
+hertz) unless a name explicitly says otherwise.  The helpers below exist so
+that device parameters quoted from the paper ("660 pJ", "300 ns", "1.6 nm")
+can be written in the units the paper uses while remaining SI internally.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants
+# ---------------------------------------------------------------------------
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380_649e-23
+
+#: Planck constant [J*s].
+PLANCK = 6.626_070_15e-34
+
+#: Room temperature [K] used in thermal-noise estimates.
+ROOM_TEMPERATURE = 300.0
+
+# ---------------------------------------------------------------------------
+# Unit multipliers (multiply a number in the named unit to obtain SI)
+# ---------------------------------------------------------------------------
+
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+FJ = 1e-15
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+
+UW = 1e-6
+MW = 1e-3
+
+GHZ = 1e9
+MHZ = 1e6
+KHZ = 1e3
+
+MM2 = 1e-6  # mm^2 in m^2
+UM2 = 1e-12  # um^2 in m^2
+
+KB = 1024
+MB = 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Telecom band helpers
+# ---------------------------------------------------------------------------
+
+#: Canonical C-band reference wavelength used throughout the models [m].
+C_BAND_CENTER = 1550.0 * NM
+
+#: Wavelength the paper measures the GST activation cell at (Fig 3) [m].
+ACTIVATION_WAVELENGTH = 1553.4 * NM
+
+#: Minimum WDM channel spacing required by the paper (Sec III-A) [m].
+MIN_WDM_SPACING = 1.6 * NM
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Convert a vacuum wavelength [m] to optical frequency [Hz]."""
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    return SPEED_OF_LIGHT / wavelength_m
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Convert an optical frequency [Hz] to vacuum wavelength [m]."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert optical power in dBm to watts."""
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert optical power in watts to dBm."""
+    if watts <= 0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return 10.0 * math.log10(watts / 1e-3)

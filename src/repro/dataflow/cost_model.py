@@ -1,0 +1,281 @@
+"""Per-layer latency/energy roll-up for photonic accelerators.
+
+One model covers Trident and the three photonic baselines: they are
+parameter points of :class:`PhotonicArch` (tuning technology, symbol rate,
+PE count at the 30 W budget, ADC/DAC presence, per-symbol extras).  The
+paper's methodology (Sec. IV): apply the Table III device parameters to all
+four architectures, scale each to 30 W, run the per-layer weight-stationary
+analysis.
+
+Cost structure per compute layer (batch ``B`` amortizes weight tuning —
+"weights are pre-loaded, after which inference can be performed on many
+inputs without re-tuning", Sec. V-A):
+
+- **time**: ``rounds x (t_write + B x positions / f_symbol) / B``, where
+  rounds spread the layer's weight tiles over the PEs; plus any DRAM
+  transfer time not hidden by compute.
+- **tuning energy**: programmed cells x per-cell write energy / B.
+- **streaming energy**: one per-PE-symbol quantum (streaming power /
+  symbol rate) per symbol, plus any per-symbol extras (VCSEL, MZM).
+- **hold energy** (optional, off by default to match the paper's
+  accounting): volatile tuning pays heater power over the streaming time.
+  The ablation bench turns this on to show honest thermal-volatility cost.
+- **conversion energy**: ADC per partial output sample and DAC per
+  re-encoded output for digital-activation architectures; zero for
+  Trident's photonic activation (its LDSU + reset power is already inside
+  the streaming power, per Table III).
+- **memory energy**: weight-stationary traffic (inputs re-streamed per
+  row-tile, partial sums, output write-back, weight fetch) priced by the
+  cache model; digital-activation architectures pay an extra output
+  round-trip between layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.arch.cache import CacheModel
+from repro.arch.config import TridentConfig
+from repro.dataflow.report import LayerCost, ModelCost
+from repro.dataflow.tiling import TileSchedule
+from repro.errors import ConfigError, ScheduleError
+from repro.nn.graph import INPUT, Network
+from repro.nn.layers import TensorShape
+
+
+@dataclass(frozen=True)
+class PhotonicArch:
+    """Architecture parameter point for the photonic cost model."""
+
+    name: str
+    n_pes: int
+    symbol_rate_hz: float
+    write_energy_per_cell_j: float
+    write_time_s: float
+    #: Per-PE power while streaming symbols [W] (post-tuning).
+    streaming_power_pe_w: float
+    #: Per-PE worst-case power used for the 30 W sizing [W].
+    sizing_power_pe_w: float
+    bank_rows: int = 16
+    bank_cols: int = 16
+    #: Volatile-tuning hold power per weight cell [W] (thermal: 1.7 mW).
+    hold_power_per_cell_w: float = 0.0
+    #: True when activation happens digitally via ADC + memory round-trip.
+    digital_activation: bool = False
+    #: ADC energy per converted output sample [J].
+    adc_energy_per_sample_j: float = 0.0
+    #: DAC / E-O re-encode energy per output element [J].
+    dac_energy_per_sample_j: float = 0.0
+    #: Additional per-symbol per-PE energy [J] (CrossLight VCSEL summation,
+    #: PIXEL MZM accumulation).
+    extra_symbol_energy_j: float = 0.0
+    #: Usable weight resolution [bits] (thermal crosstalk: 6).
+    weight_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1:
+            raise ConfigError(f"{self.name}: n_pes must be positive")
+        if self.symbol_rate_hz <= 0 or self.write_time_s <= 0:
+            raise ConfigError(f"{self.name}: rates/times must be positive")
+        for field_name in (
+            "write_energy_per_cell_j",
+            "streaming_power_pe_w",
+            "sizing_power_pe_w",
+            "hold_power_per_cell_w",
+            "adc_energy_per_sample_j",
+            "dac_energy_per_sample_j",
+            "extra_symbol_energy_j",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{self.name}: {field_name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def trident(cls, config: TridentConfig | None = None) -> "PhotonicArch":
+        """Trident's parameter point, straight from the config (Table III)."""
+        config = config or TridentConfig()
+        return cls(
+            name="trident",
+            n_pes=config.n_pes,
+            symbol_rate_hz=config.symbol_rate_hz,
+            write_energy_per_cell_j=config.tuning.write_energy_j,
+            write_time_s=config.tuning.write_time_s,
+            streaming_power_pe_w=config.pe_streaming_power_w,
+            sizing_power_pe_w=config.pe_total_power_w,
+            bank_rows=config.bank_rows,
+            bank_cols=config.bank_cols,
+            weight_bits=config.weight_bits,
+        )
+
+    @property
+    def symbol_energy_j(self) -> float:
+        """Per-PE energy of one streamed symbol [J]."""
+        return self.streaming_power_pe_w / self.symbol_rate_hz + self.extra_symbol_energy_j
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak throughput with weights resident [TOPS]."""
+        return (
+            self.n_pes * self.bank_rows * self.bank_cols * 2.0 * self.symbol_rate_hz / 1e12
+        )
+
+    def scaled_to_budget(self, budget_w: float) -> "PhotonicArch":
+        """Resize the PE count to a power budget (paper: 30 W)."""
+        n = int(budget_w // self.sizing_power_pe_w)
+        if n < 1:
+            raise ConfigError(
+                f"{self.name}: budget {budget_w} W below one PE "
+                f"({self.sizing_power_pe_w:.3f} W)"
+            )
+        return replace(self, n_pes=n)
+
+
+class PhotonicCostModel:
+    """Weight-stationary analytical cost model for one architecture."""
+
+    def __init__(
+        self,
+        arch: PhotonicArch,
+        cache: CacheModel | None = None,
+        batch: int = 128,
+        charge_hold_power: bool = False,
+        bytes_per_element: int = 1,
+    ) -> None:
+        if batch < 1:
+            raise ConfigError(f"batch must be positive, got {batch}")
+        if bytes_per_element < 1:
+            raise ConfigError("bytes_per_element must be positive")
+        self.arch = arch
+        self.cache = cache or CacheModel()
+        self.batch = batch
+        self.charge_hold_power = charge_hold_power
+        self.bytes_per_element = bytes_per_element
+
+    # ------------------------------------------------------------------
+    def layer_cost(
+        self,
+        name: str,
+        schedule: TileSchedule,
+        input_shape: TensorShape,
+        fused_activation: bool,
+    ) -> LayerCost:
+        """Per-inference cost of one compute layer."""
+        arch = self.arch
+        B = self.batch
+        rounds = schedule.rounds(arch.n_pes)
+
+        # --- latency ----------------------------------------------------
+        round_time = arch.write_time_s + B * schedule.positions / arch.symbol_rate_hz
+        compute_time = rounds * round_time / B
+
+        # --- tuning -------------------------------------------------------
+        tuning_j = schedule.cells * arch.write_energy_per_cell_j / B
+
+        # --- streaming ------------------------------------------------------
+        streaming_j = schedule.symbols * arch.symbol_energy_j
+
+        # --- volatile hold (off by default; see module docstring) -----------
+        hold_j = 0.0
+        if self.charge_hold_power and arch.hold_power_per_cell_w > 0:
+            stream_time_per_tile = schedule.positions / arch.symbol_rate_hz
+            cells_per_tile = schedule.cells / schedule.n_tiles
+            hold_j = (
+                arch.hold_power_per_cell_w
+                * cells_per_tile
+                * stream_time_per_tile
+                * schedule.n_tiles
+            )
+
+        # --- conversions ------------------------------------------------------
+        conversion_j = 0.0
+        if arch.digital_activation:
+            samples = schedule.output_elements * schedule.tiles_k
+            conversion_j = (
+                samples * arch.adc_energy_per_sample_j
+                + schedule.output_elements * arch.dac_energy_per_sample_j
+            )
+
+        # --- memory traffic --------------------------------------------------
+        bpe = self.bytes_per_element
+        ifmap_bytes = input_shape.bytes(bpe)
+        # Inputs are re-streamed once per row-tile (weight-stationary).
+        input_traffic = self.cache.access(ifmap_bytes, times=schedule.tiles_m)
+        # Partial sums: the working set is one output stripe; each extra
+        # reduction tile reads and rewrites it once.
+        out_bytes = schedule.output_elements * bpe
+        partial_traffic = (
+            self.cache.access(out_bytes, times=2 * (schedule.tiles_k - 1))
+            if schedule.tiles_k > 1
+            else None
+        )
+        # Outputs written once; digital activation adds a read-modify-write
+        # round-trip (the ADC -> memory -> activation -> DAC path Trident
+        # eliminates, Sec. III-C).
+        out_bytes = schedule.output_elements * bpe
+        out_times = 3 if arch.digital_activation and fused_activation else 1
+        output_traffic = self.cache.access(out_bytes, times=out_times)
+        # Weights fetched from backing store once per batch.
+        weight_traffic = self.cache.access(schedule.cells * bpe, times=1)
+
+        memory_j = (
+            input_traffic.energy_j
+            + (partial_traffic.energy_j if partial_traffic else 0.0)
+            + output_traffic.energy_j
+            + weight_traffic.energy_j / B
+        )
+        dram_time = (
+            input_traffic.transfer_time_s
+            + (partial_traffic.transfer_time_s if partial_traffic else 0.0)
+            + output_traffic.transfer_time_s
+            + weight_traffic.transfer_time_s / B
+        )
+
+        breakdown = {
+            "tuning": tuning_j,
+            "streaming": streaming_j,
+            "hold": hold_j,
+            "conversion": conversion_j,
+            "memory": memory_j,
+        }
+        return LayerCost(
+            name=name,
+            macs=schedule.gemm.macs,
+            time_s=max(compute_time, dram_time),
+            energy_j=sum(breakdown.values()),
+            energy_breakdown=breakdown,
+            symbols=schedule.symbols,
+            tiles=schedule.n_tiles,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------
+    def model_cost(self, network: Network) -> ModelCost:
+        """Whole-network inference cost (compute layers; memory-only for
+        pool/add/concat is folded into the neighbouring layers' traffic)."""
+        stats = network.stats()
+        layers: list[LayerCost] = []
+        for record in stats.layers:
+            if record.gemm is None:
+                continue
+            sources = network.inputs_of(record.name)
+            src = sources[0]
+            input_shape = (
+                network.input_shape if src == INPUT else network.shape_of(src)
+            )
+            schedule = TileSchedule(
+                gemm=record.gemm,
+                bank_rows=self.arch.bank_rows,
+                bank_cols=self.arch.bank_cols,
+            )
+            layers.append(
+                self.layer_cost(record.name, schedule, input_shape, record.fused_activation)
+            )
+        if not layers:
+            raise ScheduleError(f"{network.name}: no compute layers to cost")
+        return ModelCost(
+            model=network.name,
+            accelerator=self.arch.name,
+            layers=tuple(layers),
+            total_macs=stats.total_macs,
+        )

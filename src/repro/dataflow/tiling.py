@@ -1,0 +1,98 @@
+"""Weight-stationary tiling of layer GEMMs onto photonic weight banks.
+
+A compute layer lowers to ``groups`` GEMMs of shape (M x K) @ (K x N)
+(:class:`repro.nn.layers.GEMMShape`).  A J x N_bank photonic bank holds one
+(J x N_bank) weight tile at a time; under the weight-stationary dataflow the
+tile is programmed once and all N output positions (times the batch) stream
+through it before the next tile is programmed (paper Sec. V-A: "weights are
+pre-loaded, after which inference can be performed on many inputs without
+re-tuning").
+
+The schedule accounts for edge tiles exactly: programming energy is charged
+per *occupied* cell, not per bank slot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.nn.layers import GEMMShape
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """Tiling of one layer's GEMM(s) onto banks of ``rows x cols``."""
+
+    gemm: GEMMShape
+    bank_rows: int
+    bank_cols: int
+
+    def __post_init__(self) -> None:
+        if self.bank_rows < 1 or self.bank_cols < 1:
+            raise ScheduleError("bank dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def tiles_m(self) -> int:
+        """Tiles along the output-channel (row) dimension, per group."""
+        return math.ceil(self.gemm.m / self.bank_rows)
+
+    @property
+    def tiles_k(self) -> int:
+        """Tiles along the reduction (column) dimension, per group."""
+        return math.ceil(self.gemm.k / self.bank_cols)
+
+    @property
+    def tiles_per_group(self) -> int:
+        """Weight tiles per GEMM group."""
+        return self.tiles_m * self.tiles_k
+
+    @property
+    def n_tiles(self) -> int:
+        """Total weight tiles across all groups."""
+        return self.tiles_per_group * self.gemm.groups
+
+    @property
+    def positions(self) -> int:
+        """Output positions (GEMM N) streamed per tile residency."""
+        return self.gemm.n
+
+    @property
+    def cells(self) -> int:
+        """Exact weight cells programmed (== weight elements)."""
+        return self.gemm.m * self.gemm.k * self.gemm.groups
+
+    @property
+    def symbols(self) -> int:
+        """Analog symbols per single inference: every tile sees every
+        output position once."""
+        return self.n_tiles * self.positions
+
+    @property
+    def partial_sum_elements(self) -> int:
+        """Partial results needing electronic accumulation per inference.
+
+        When the reduction does not fit one bank (tiles_k > 1) every output
+        element is touched (tiles_k - 1) extra times.
+        """
+        outputs = self.gemm.m * self.gemm.n * self.gemm.groups
+        return outputs * (self.tiles_k - 1)
+
+    @property
+    def output_elements(self) -> int:
+        """Final output elements per inference."""
+        return self.gemm.m * self.gemm.n * self.gemm.groups
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average fraction of bank cells used across tiles (edge effects)."""
+        full = self.n_tiles * self.bank_rows * self.bank_cols
+        return self.cells / full
+
+    def rounds(self, n_pes: int) -> int:
+        """Sequential rounds when tiles are spread over ``n_pes`` PEs."""
+        if n_pes < 1:
+            raise ScheduleError(f"n_pes must be positive, got {n_pes}")
+        return math.ceil(self.n_tiles / n_pes)

@@ -1,0 +1,77 @@
+"""Photonic and mixed-signal device models used by the Trident architecture.
+
+Every device the paper's Figure 1/2 draws has a model here:
+
+- :mod:`repro.devices.gst` — the Ge2Sb2Te5 phase-change material itself.
+- :mod:`repro.devices.mrr` — microring resonators (all-pass and add-drop).
+- :mod:`repro.devices.pcm_mrr` — an MRR with an embedded GST cell acting as
+  a programmable signed weight.
+- :mod:`repro.devices.waveguide` — the WDM bus distributing laser channels.
+- :mod:`repro.devices.photodetector` — photodiodes and balanced pairs.
+- :mod:`repro.devices.tia` — programmable-gain transimpedance amplifiers.
+- :mod:`repro.devices.laser` — WDM laser sources and E/O encoding.
+- :mod:`repro.devices.activation_cell` — the GST photonic activation (Fig 3).
+- :mod:`repro.devices.ldsu` — the linear derivative storage unit.
+- :mod:`repro.devices.tuning` — thermal / electric / GST tuning (Table I).
+- :mod:`repro.devices.noise` — shared stochastic-noise machinery.
+"""
+
+from repro.devices.activation_cell import GSTActivationCell, GSTActivationConfig
+from repro.devices.drift import RetentionModel, refresh_schedule
+from repro.devices.gst import GSTCell, GSTMaterial
+from repro.devices.laser import EOModulator, LaserArray, LaserSource
+from repro.devices.ldsu import AnalogComparator, DFlipFlop, LDSU
+from repro.devices.mrr import AddDropMRR, AllPassMRR
+from repro.devices.noise import NoiseModel
+from repro.devices.pcm_mrr import PCMMRRWeight, WeightCalibration
+from repro.devices.photodetector import BalancedPhotodetector, Photodetector
+from repro.devices.program_verify import (
+    ProgramVerifyConfig,
+    ProgramVerifyResult,
+    ProgramVerifyWriter,
+)
+from repro.devices.thermal_crosstalk import ThermalCrosstalkModel, thermal_resolution_sweep
+from repro.devices.tia import TransimpedanceAmplifier
+from repro.devices.tuning import (
+    ElectricTuning,
+    GSTTuning,
+    ThermalTuning,
+    TuningMethod,
+    tuning_comparison_table,
+)
+from repro.devices.waveguide import WDMBus, WDMChannelPlan
+
+__all__ = [
+    "AddDropMRR",
+    "AllPassMRR",
+    "AnalogComparator",
+    "BalancedPhotodetector",
+    "DFlipFlop",
+    "ElectricTuning",
+    "EOModulator",
+    "GSTActivationCell",
+    "GSTActivationConfig",
+    "GSTCell",
+    "GSTMaterial",
+    "GSTTuning",
+    "LaserArray",
+    "LaserSource",
+    "LDSU",
+    "NoiseModel",
+    "PCMMRRWeight",
+    "Photodetector",
+    "ProgramVerifyConfig",
+    "ProgramVerifyResult",
+    "ProgramVerifyWriter",
+    "refresh_schedule",
+    "RetentionModel",
+    "ThermalCrosstalkModel",
+    "thermal_resolution_sweep",
+    "ThermalTuning",
+    "TransimpedanceAmplifier",
+    "TuningMethod",
+    "tuning_comparison_table",
+    "WDMBus",
+    "WDMChannelPlan",
+    "WeightCalibration",
+]

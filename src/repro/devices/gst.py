@@ -1,0 +1,212 @@
+"""Ge2Sb2Te5 (GST) phase-change material model.
+
+GST switches between an **amorphous** phase (low optical loss, low index —
+transmissive, encodes a *large* weight) and a **crystalline** phase (lossy,
+high index — absorbing, encodes a *small* weight).  Partial crystallization
+gives intermediate attenuation levels; current devices resolve 255 levels,
+i.e. 8-bit weights (paper Sec. III-B, ref [5]).
+
+The optics use the Lorentz-Lorenz effective-medium approximation to blend the
+complex permittivities of the two phases as a function of crystalline
+fraction ``c``; the resulting extinction coefficient sets the absorption of a
+waveguide segment loaded with a GST patch.  All optical helpers are
+vectorized over ``c`` so a whole weight bank can be evaluated in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import NM, PJ, C_BAND_CENTER
+from repro.errors import EnduranceExceededError, ProgrammingError
+
+# ---------------------------------------------------------------------------
+# Material constants (complex refractive indices at 1550 nm, from the GST
+# literature the paper builds on: Liang et al. [21], Zhang et al. [37]).
+# ---------------------------------------------------------------------------
+
+#: Complex refractive index of amorphous GST at 1550 nm.
+N_AMORPHOUS = 4.6 + 0.18j
+
+#: Complex refractive index of crystalline GST at 1550 nm.
+N_CRYSTALLINE = 7.45 + 1.49j
+
+#: Number of resolvable partial-crystallization levels (8-bit: ref [5]).
+DEFAULT_LEVELS = 255
+
+#: Rated switching endurance of industry-standard PCM cells (ref [17]).
+DEFAULT_ENDURANCE_CYCLES = int(1e12)
+
+
+def _lorentz_lorenz_term(n: complex) -> complex:
+    eps = n * n
+    return (eps - 1.0) / (eps + 2.0)
+
+
+def effective_permittivity(crystalline_fraction: np.ndarray | float) -> np.ndarray:
+    """Effective complex permittivity of partially crystallized GST.
+
+    Lorentz-Lorenz mixing:  (e-1)/(e+2) = c*(ec-1)/(ec+2) + (1-c)*(ea-1)/(ea+2).
+    Accepts scalars or arrays in [0, 1]; vectorized.
+    """
+    c = np.asarray(crystalline_fraction, dtype=np.float64)
+    if np.any(c < 0) or np.any(c > 1):
+        raise ProgrammingError("crystalline fraction must lie in [0, 1]")
+    mix = c * _lorentz_lorenz_term(N_CRYSTALLINE) + (1.0 - c) * _lorentz_lorenz_term(N_AMORPHOUS)
+    return (1.0 + 2.0 * mix) / (1.0 - mix)
+
+
+def effective_index(crystalline_fraction: np.ndarray | float) -> np.ndarray:
+    """Effective complex refractive index at the given crystalline fraction."""
+    return np.sqrt(effective_permittivity(crystalline_fraction))
+
+
+def absorption_coefficient(
+    crystalline_fraction: np.ndarray | float,
+    wavelength_m: float = C_BAND_CENTER,
+) -> np.ndarray:
+    """Intensity absorption coefficient alpha [1/m]: alpha = 4*pi*k / lambda."""
+    if wavelength_m <= 0:
+        raise ProgrammingError(f"wavelength must be positive, got {wavelength_m}")
+    kappa = np.imag(effective_index(crystalline_fraction))
+    return 4.0 * np.pi * kappa / wavelength_m
+
+
+def patch_transmission(
+    crystalline_fraction: np.ndarray | float,
+    patch_length_m: float,
+    wavelength_m: float = C_BAND_CENTER,
+    confinement: float = 0.2,
+) -> np.ndarray:
+    """Power transmission of a waveguide segment loaded with a GST patch.
+
+    ``confinement`` is the fraction of the guided mode overlapping the GST
+    film (evanescent coupling); typical integrated devices sit around 0.1-0.3.
+    Fully vectorized over ``crystalline_fraction``.
+    """
+    if patch_length_m < 0:
+        raise ProgrammingError(f"patch length must be non-negative, got {patch_length_m}")
+    if not 0 < confinement <= 1:
+        raise ProgrammingError(f"confinement must be in (0, 1], got {confinement}")
+    alpha = absorption_coefficient(crystalline_fraction, wavelength_m)
+    return np.exp(-alpha * confinement * patch_length_m)
+
+
+@dataclass(frozen=True)
+class GSTMaterial:
+    """Bundle of material-level parameters for a GST film.
+
+    Exists so device models can carry a single object instead of loose
+    constants, and so tests/ablations can explore perturbed material stacks.
+    """
+
+    n_amorphous: complex = N_AMORPHOUS
+    n_crystalline: complex = N_CRYSTALLINE
+    levels: int = DEFAULT_LEVELS
+    endurance_cycles: int = DEFAULT_ENDURANCE_CYCLES
+    retention_years: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ProgrammingError(f"need at least 2 levels, got {self.levels}")
+        if self.endurance_cycles <= 0:
+            raise ProgrammingError("endurance must be positive")
+
+    @property
+    def bit_resolution(self) -> int:
+        """Bits of weight resolution this level count provides."""
+        return int(np.floor(np.log2(self.levels + 1)))
+
+
+@dataclass
+class GSTCell:
+    """One programmable GST element (state machine + optics + bookkeeping).
+
+    State is the crystalline fraction ``c`` in [0, 1], discretized onto
+    ``material.levels`` levels when programmed through :meth:`program_level`.
+    Write pulses cost :attr:`write_energy_j` and count against endurance;
+    read pulses cost :attr:`read_energy_j` and do not.
+
+    The cell is deliberately small and scalar — the hot path (a 256-element
+    weight bank) uses the vectorized module functions above through
+    :class:`repro.arch.weight_bank.WeightBank`; this class is the
+    single-device reference the array code is tested against.
+    """
+
+    material: GSTMaterial = field(default_factory=GSTMaterial)
+    patch_length_m: float = 0.3e-6
+    confinement: float = 0.2
+    write_energy_j: float = 660 * PJ
+    read_energy_j: float = 20 * PJ
+    wavelength_m: float = C_BAND_CENTER
+
+    crystalline_fraction: float = 1.0  # as-fabricated: fully crystalline
+    write_count: int = 0
+    read_count: int = 0
+    energy_spent_j: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Current state expressed as an integer level (0..levels-1).
+
+        Level 0 is fully crystalline (most absorbing, smallest weight);
+        the top level is fully amorphous (most transmissive).
+        """
+        return int(round((1.0 - self.crystalline_fraction) * (self.material.levels - 1)))
+
+    def program_fraction(self, crystalline_fraction: float) -> None:
+        """Program to an exact crystalline fraction via one write pulse."""
+        if not 0.0 <= crystalline_fraction <= 1.0:
+            raise ProgrammingError(
+                f"crystalline fraction must lie in [0, 1], got {crystalline_fraction}"
+            )
+        if self.write_count >= self.material.endurance_cycles:
+            raise EnduranceExceededError(
+                f"GST cell exceeded endurance of {self.material.endurance_cycles} writes"
+            )
+        self.crystalline_fraction = float(crystalline_fraction)
+        self.write_count += 1
+        self.energy_spent_j += self.write_energy_j
+
+    def program_level(self, level: int) -> None:
+        """Program to one of the discrete levels (0 = crystalline)."""
+        if not 0 <= level < self.material.levels:
+            raise ProgrammingError(
+                f"level must be in [0, {self.material.levels - 1}], got {level}"
+            )
+        self.program_fraction(1.0 - level / (self.material.levels - 1))
+
+    def amorphize(self) -> None:
+        """Full RESET pulse: melt-quench to the amorphous phase."""
+        self.program_fraction(0.0)
+
+    def crystallize(self) -> None:
+        """Full SET anneal: return to the crystalline phase."""
+        self.program_fraction(1.0)
+
+    # ------------------------------------------------------------------
+    def transmission(self) -> float:
+        """Power transmission of the loaded segment at the current state."""
+        return float(
+            patch_transmission(
+                self.crystalline_fraction,
+                self.patch_length_m,
+                self.wavelength_m,
+                self.confinement,
+            )
+        )
+
+    def read(self) -> float:
+        """Issue a low-power read pulse; returns transmission, logs energy."""
+        self.read_count += 1
+        self.energy_spent_j += self.read_energy_j
+        return self.transmission()
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining_endurance(self) -> int:
+        """Write cycles left before the cell is out of spec."""
+        return max(0, self.material.endurance_cycles - self.write_count)

@@ -1,0 +1,124 @@
+"""Laser sources and electro-optic encoding.
+
+Each weight-bank column has a dedicated wavelength; the input vector is
+amplitude-encoded onto the corresponding laser channels (paper Sec. III-A).
+Between PEs, an E/O laser re-encodes each row's electronic output onto a
+fresh wavelength for the next layer (Fig 1; Table III attributes 0.032 mW
+per E/O laser, ref [28]).
+
+Values are normalized: an encoded channel carries ``power_w * |x|`` with the
+sign tracked electronically (the photonic amplitude is non-negative; signed
+inputs are handled by the control unit encoding sign into the modulation
+phase/branch, which at the model level means signs simply propagate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import C_BAND_CENTER, MW
+from repro.devices.waveguide import WDMChannelPlan
+from repro.errors import ConfigError, DeviceError
+
+
+@dataclass(frozen=True)
+class LaserSource:
+    """A single continuous-wave laser line."""
+
+    wavelength_m: float = C_BAND_CENTER
+    power_w: float = 1.0 * MW
+    #: Relative intensity noise expressed as a fractional std per sample.
+    rin_fraction: float = 0.0
+    #: Wall-plug electrical power [W] (drive + control).
+    electrical_power_w: float = 0.032 * MW
+
+    def __post_init__(self) -> None:
+        if self.wavelength_m <= 0:
+            raise ConfigError("wavelength must be positive")
+        if self.power_w <= 0:
+            raise ConfigError("optical power must be positive")
+        if self.rin_fraction < 0:
+            raise ConfigError("RIN must be non-negative")
+
+
+@dataclass
+class EOModulator:
+    """Electro-optic amplitude encoder for one channel.
+
+    ``encode`` maps a normalized value x in [-1, 1] to a modulated amplitude;
+    extinction ratio limits how close to zero the off state gets.
+    """
+
+    extinction_ratio_db: float = 25.0
+    insertion_loss_db: float = 0.5
+    bandwidth_hz: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.extinction_ratio_db <= 0:
+            raise ConfigError("extinction ratio must be positive")
+        if self.insertion_loss_db < 0:
+            raise ConfigError("insertion loss must be non-negative")
+
+    @property
+    def floor(self) -> float:
+        """Residual normalized power in the nominal off state."""
+        return 10.0 ** (-self.extinction_ratio_db / 10.0)
+
+    @property
+    def transmission(self) -> float:
+        """Peak transmission through the modulator."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)
+
+    def encode(self, values: np.ndarray | float) -> np.ndarray:
+        """Encode normalized values onto channel amplitudes (vectorized).
+
+        Magnitude maps onto optical power (with extinction floor and
+        insertion loss); sign is carried through for the signed MVM model.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if np.any(np.abs(x) > 1.0 + 1e-9):
+            raise DeviceError("encoded values must lie in [-1, 1]")
+        magnitude = np.maximum(np.abs(x), self.floor) * self.transmission
+        return np.sign(x) * magnitude
+
+
+@dataclass
+class LaserArray:
+    """The bank of WDM sources feeding a PE.
+
+    One source per channel of the plan; ``encode_vector`` produces the
+    per-channel signed amplitudes the weight bank multiplies.
+    """
+
+    plan: WDMChannelPlan
+    modulator: EOModulator = field(default_factory=EOModulator)
+    source_power_w: float = 1.0 * MW
+    source_electrical_power_w: float = 0.032 * MW
+
+    def __post_init__(self) -> None:
+        if self.source_power_w <= 0:
+            raise ConfigError("source power must be positive")
+
+    @property
+    def sources(self) -> list[LaserSource]:
+        """Materialized per-channel sources (for inspection/tests)."""
+        return [
+            LaserSource(wavelength_m=lam, power_w=self.source_power_w)
+            for lam in self.plan.wavelengths
+        ]
+
+    @property
+    def total_electrical_power_w(self) -> float:
+        """Aggregate wall-plug power of all sources [W]."""
+        return self.source_electrical_power_w * self.plan.n_channels
+
+    def encode_vector(self, values: np.ndarray) -> np.ndarray:
+        """Encode a length-N vector onto the N channels (vectorized)."""
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != self.plan.n_channels:
+            raise DeviceError(
+                f"expected a length-{self.plan.n_channels} vector, got shape {x.shape}"
+            )
+        return self.modulator.encode(x)

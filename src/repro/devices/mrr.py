@@ -1,0 +1,186 @@
+"""Microring resonator (MRR) transfer-function models.
+
+Implements the standard all-pass and add-drop ring formulas (Bogaerts et al.,
+paper ref [4]).  The add-drop configuration is what Trident's weight banks
+use: it exposes both a *through* and a *drop* port, whose difference —
+detected by a balanced photodetector — realizes signed weights in [-1, 1]
+(paper Sec. III-A).
+
+All transfer functions are vectorized over wavelength so a WDM spectrum can
+be evaluated in one call.
+
+Conventions
+-----------
+- ``r`` (self-coupling) and ``a`` (single-pass amplitude transmission) are
+  *amplitude* coefficients in (0, 1].
+- All port quantities returned are *power* transmissions in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import C_BAND_CENTER, UM
+from repro.errors import DeviceError
+
+
+def _validate_amplitude(name: str, value: float) -> None:
+    if not 0.0 < value <= 1.0:
+        raise DeviceError(f"{name} must be an amplitude in (0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class RingGeometry:
+    """Geometric and modal parameters shared by the ring models."""
+
+    radius_m: float = 5.0 * UM
+    effective_index: float = 2.35
+    group_index: float = 4.2
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise DeviceError(f"radius must be positive, got {self.radius_m}")
+        if self.effective_index <= 0 or self.group_index <= 0:
+            raise DeviceError("indices must be positive")
+
+    @property
+    def circumference_m(self) -> float:
+        """Round-trip physical length of the ring [m]."""
+        return 2.0 * math.pi * self.radius_m
+
+    def round_trip_phase(self, wavelength_m: np.ndarray | float) -> np.ndarray:
+        """Round-trip phase phi = 2*pi*n_eff*L / lambda (vectorized)."""
+        lam = np.asarray(wavelength_m, dtype=np.float64)
+        if np.any(lam <= 0):
+            raise DeviceError("wavelength must be positive")
+        return 2.0 * math.pi * self.effective_index * self.circumference_m / lam
+
+    def free_spectral_range(self, wavelength_m: float = C_BAND_CENTER) -> float:
+        """FSR [m] near the given wavelength: lambda^2 / (n_g * L)."""
+        return wavelength_m**2 / (self.group_index * self.circumference_m)
+
+    def nearest_resonance(self, wavelength_m: float = C_BAND_CENTER) -> float:
+        """Resonant wavelength closest to ``wavelength_m``.
+
+        Resonance condition: n_eff * L = m * lambda for integer m.
+        """
+        optical_length = self.effective_index * self.circumference_m
+        m = max(1, round(optical_length / wavelength_m))
+        return optical_length / m
+
+
+@dataclass(frozen=True)
+class AllPassMRR:
+    """Single-bus (all-pass) ring: one input, one through port."""
+
+    geometry: RingGeometry = RingGeometry()
+    self_coupling: float = 0.95
+    loss: float = 0.999  # single-pass amplitude transmission of the bare ring
+
+    def __post_init__(self) -> None:
+        _validate_amplitude("self_coupling", self.self_coupling)
+        _validate_amplitude("loss", self.loss)
+
+    def through(self, wavelength_m: np.ndarray | float) -> np.ndarray:
+        """Power transmission of the through port (vectorized)."""
+        phi = self.geometry.round_trip_phase(wavelength_m)
+        r, a = self.self_coupling, self.loss
+        cos = np.cos(phi)
+        num = a * a - 2.0 * r * a * cos + r * r
+        den = 1.0 - 2.0 * r * a * cos + (r * a) ** 2
+        return num / den
+
+    @property
+    def extinction_on_resonance(self) -> float:
+        """Through-port transmission exactly on resonance."""
+        r, a = self.self_coupling, self.loss
+        return ((a - r) / (1.0 - r * a)) ** 2
+
+
+@dataclass(frozen=True)
+class AddDropMRR:
+    """Two-bus (add-drop) ring: through + drop ports.
+
+    ``ring_loss`` is the bare ring's single-pass amplitude transmission;
+    ``extra_loss`` multiplies it and is how an embedded GST patch attenuates
+    the circulating light (amplitude, i.e. sqrt of the patch's power
+    transmission).
+    """
+
+    geometry: RingGeometry = RingGeometry()
+    input_coupling: float = 0.95  # r1
+    drop_coupling: float = 0.95  # r2
+    ring_loss: float = 0.999
+    extra_loss: float = 1.0
+
+    def __post_init__(self) -> None:
+        _validate_amplitude("input_coupling", self.input_coupling)
+        _validate_amplitude("drop_coupling", self.drop_coupling)
+        _validate_amplitude("ring_loss", self.ring_loss)
+        _validate_amplitude("extra_loss", self.extra_loss)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_loss(self) -> float:
+        """Combined single-pass amplitude transmission (ring * GST patch)."""
+        return self.ring_loss * self.extra_loss
+
+    def _denominator(self, cos_phi: np.ndarray) -> np.ndarray:
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        return 1.0 - 2.0 * r1 * r2 * a * cos_phi + (r1 * r2 * a) ** 2
+
+    def through(self, wavelength_m: np.ndarray | float) -> np.ndarray:
+        """Power transmission input -> through port (vectorized)."""
+        phi = self.geometry.round_trip_phase(wavelength_m)
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        cos = np.cos(phi)
+        num = (r2 * a) ** 2 - 2.0 * r1 * r2 * a * cos + r1 * r1
+        return num / self._denominator(cos)
+
+    def drop(self, wavelength_m: np.ndarray | float) -> np.ndarray:
+        """Power transmission input -> drop port (vectorized)."""
+        phi = self.geometry.round_trip_phase(wavelength_m)
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        cos = np.cos(phi)
+        num = (1.0 - r1 * r1) * (1.0 - r2 * r2) * a
+        return num / self._denominator(cos)
+
+    # ------------------------------------------------------------------
+    def through_on_resonance(self) -> float:
+        """Through-port power transmission exactly on resonance."""
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        return ((r2 * a - r1) / (1.0 - r1 * r2 * a)) ** 2
+
+    def drop_on_resonance(self) -> float:
+        """Drop-port power transmission exactly on resonance."""
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        return (1.0 - r1 * r1) * (1.0 - r2 * r2) * a / (1.0 - r1 * r2 * a) ** 2
+
+    def differential_on_resonance(self) -> float:
+        """(drop - through) on resonance — the signed-weight observable."""
+        return self.drop_on_resonance() - self.through_on_resonance()
+
+    # ------------------------------------------------------------------
+    def fwhm(self, wavelength_m: float = C_BAND_CENTER) -> float:
+        """Full width at half maximum of the resonance [m]."""
+        r1, r2, a = self.input_coupling, self.drop_coupling, self.total_loss
+        rt = r1 * r2 * a
+        ng_l = self.geometry.group_index * self.geometry.circumference_m
+        return (1.0 - rt) * wavelength_m**2 / (math.pi * ng_l * math.sqrt(rt))
+
+    def q_factor(self, wavelength_m: float = C_BAND_CENTER) -> float:
+        """Loaded quality factor lambda / FWHM."""
+        return wavelength_m / self.fwhm(wavelength_m)
+
+    def with_extra_loss(self, extra_loss: float) -> "AddDropMRR":
+        """New ring with a different embedded-attenuator (GST) state."""
+        return AddDropMRR(
+            geometry=self.geometry,
+            input_coupling=self.input_coupling,
+            drop_coupling=self.drop_coupling,
+            ring_loss=self.ring_loss,
+            extra_loss=extra_loss,
+        )

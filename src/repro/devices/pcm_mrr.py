@@ -1,0 +1,206 @@
+"""PCM-tuned MRR weight cell: an add-drop ring with an embedded GST patch.
+
+This is Trident's weight element (paper Fig 2b).  The GST patch attenuates
+the light circulating in the ring; because the cell sits in an add-drop
+configuration read out by a balanced photodetector, the observable is the
+*differential* transmission ``d = T_drop - T_through``, which swings from
+strongly positive (amorphous GST, lossless ring, light exits at the drop
+port) to negative (crystalline GST, light decoupled to the through port).
+Mapping a signed weight ``w in [-1, 1]`` onto ``d`` therefore needs no bias
+subtraction — the calibration below finds, once per device geometry, the
+monotone curve ``d(c)`` over crystalline fraction ``c`` and inverts it.
+
+The calibration object is the bridge between the physical layer and the
+vectorized weight-bank math: banks store quantized levels and use
+:meth:`WeightCalibration.weights_to_levels` / ``levels_to_weights`` without
+touching per-ring Python objects on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.gst import GSTCell, GSTMaterial, patch_transmission
+from repro.devices.mrr import AddDropMRR
+from repro.errors import DeviceError, ProgrammingError
+
+
+@dataclass(frozen=True)
+class WeightCalibration:
+    """Invertible mapping between signed weights and GST states.
+
+    Attributes
+    ----------
+    fractions:
+        Grid of crystalline fractions, ascending in [0, 1].
+    differentials:
+        ``d(c) = T_drop(c) - T_through(c)`` on that grid (strictly decreasing
+        in ``c`` for any physical geometry — verified at build time).
+    d_sym:
+        Symmetric differential range: weights map linearly onto
+        ``d in [-d_sym, +d_sym]`` so that ``w = d / d_sym`` without offset.
+    levels:
+        Number of programmable GST levels (255 for 8-bit).
+    """
+
+    fractions: np.ndarray
+    differentials: np.ndarray
+    d_sym: float
+    levels: int
+
+    def __post_init__(self) -> None:
+        if self.fractions.shape != self.differentials.shape:
+            raise DeviceError("calibration grids must have matching shapes")
+        if self.d_sym <= 0:
+            raise DeviceError(f"d_sym must be positive, got {self.d_sym}")
+        if self.levels < 2:
+            raise DeviceError(f"levels must be >= 2, got {self.levels}")
+
+    # -- weight <-> differential ----------------------------------------
+    def weight_to_differential(self, weights: np.ndarray | float) -> np.ndarray:
+        """Target differential transmission for signed weights (vectorized)."""
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(np.abs(w) > 1.0 + 1e-12):
+            raise ProgrammingError("weights must lie in [-1, 1]")
+        return np.clip(w, -1.0, 1.0) * self.d_sym
+
+    def differential_to_weight(self, differentials: np.ndarray | float) -> np.ndarray:
+        """Signed weight read back from a differential transmission."""
+        return np.asarray(differentials, dtype=np.float64) / self.d_sym
+
+    # -- weight <-> crystalline fraction --------------------------------
+    def weight_to_fraction(self, weights: np.ndarray | float) -> np.ndarray:
+        """Crystalline fraction realizing each weight (vectorized interp).
+
+        ``differentials`` is decreasing in ``c``; ``np.interp`` wants an
+        ascending x-grid, so interpolate on the reversed arrays.
+        """
+        d = self.weight_to_differential(weights)
+        return np.interp(d, self.differentials[::-1], self.fractions[::-1])
+
+    def fraction_to_weight(self, fractions: np.ndarray | float) -> np.ndarray:
+        """Weight realized by given crystalline fractions (vectorized)."""
+        c = np.asarray(fractions, dtype=np.float64)
+        d = np.interp(c, self.fractions, self.differentials)
+        return np.clip(self.differential_to_weight(d), -1.0, 1.0)
+
+    # -- weight <-> quantized level --------------------------------------
+    def weights_to_levels(self, weights: np.ndarray | float) -> np.ndarray:
+        """Quantize signed weights onto integer GST levels.
+
+        Level 0 encodes w = -1, the top level encodes w = +1, linearly.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(np.abs(w) > 1.0 + 1e-12):
+            raise ProgrammingError("weights must lie in [-1, 1]")
+        scaled = (np.clip(w, -1.0, 1.0) + 1.0) / 2.0 * (self.levels - 1)
+        return np.rint(scaled).astype(np.int64)
+
+    def levels_to_weights(self, levels: np.ndarray | float) -> np.ndarray:
+        """Signed weight encoded by integer (or noise-perturbed) levels."""
+        lv = np.asarray(levels, dtype=np.float64)
+        return np.clip(lv / (self.levels - 1) * 2.0 - 1.0, -1.0, 1.0)
+
+    @property
+    def weight_step(self) -> float:
+        """Smallest representable weight increment."""
+        return 2.0 / (self.levels - 1)
+
+
+def build_calibration(
+    ring: AddDropMRR | None = None,
+    material: GSTMaterial | None = None,
+    patch_length_m: float = 0.3e-6,
+    confinement: float = 0.2,
+    grid_points: int = 1001,
+) -> WeightCalibration:
+    """Sweep crystalline fraction and build the weight calibration curve.
+
+    Evaluates the add-drop differential on resonance for every fraction on a
+    dense grid (vectorized through the ring formulas), verifies monotonicity,
+    and picks the symmetric weight range.
+    """
+    ring = ring or AddDropMRR()
+    material = material or GSTMaterial()
+    if grid_points < 16:
+        raise DeviceError(f"grid_points too small: {grid_points}")
+
+    fractions = np.linspace(0.0, 1.0, grid_points)
+    # Amplitude loss of the GST patch = sqrt(power transmission).
+    amp = np.sqrt(patch_transmission(fractions, patch_length_m, confinement=confinement))
+    r1, r2 = ring.input_coupling, ring.drop_coupling
+    a = ring.ring_loss * amp
+    den = (1.0 - r1 * r2 * a) ** 2
+    t_through = (r2 * a - r1) ** 2 / den
+    t_drop = (1.0 - r1 * r1) * (1.0 - r2 * r2) * a / den
+    diff = t_drop - t_through
+
+    if not np.all(np.diff(diff) < 0):
+        raise DeviceError(
+            "differential transmission is not strictly decreasing in crystalline "
+            "fraction; geometry is outside the calibratable regime"
+        )
+    d_max, d_min = float(diff[0]), float(diff[-1])
+    if d_max <= 0 or d_min >= 0:
+        raise DeviceError(
+            f"differential range [{d_min:.3f}, {d_max:.3f}] does not straddle zero; "
+            "signed weights are not realizable with this geometry"
+        )
+    d_sym = min(d_max, -d_min)
+    return WeightCalibration(
+        fractions=fractions,
+        differentials=diff,
+        d_sym=d_sym,
+        levels=material.levels,
+    )
+
+
+@dataclass
+class PCMMRRWeight:
+    """A single programmable signed weight: add-drop MRR + GST cell.
+
+    Scalar reference device.  Banks use the vectorized calibration directly;
+    tests assert the bank math agrees with this object device-by-device.
+    """
+
+    ring: AddDropMRR = field(default_factory=AddDropMRR)
+    gst: GSTCell = field(default_factory=GSTCell)
+    calibration: WeightCalibration | None = None
+
+    def __post_init__(self) -> None:
+        if self.calibration is None:
+            self.calibration = build_calibration(
+                self.ring,
+                self.gst.material,
+                patch_length_m=self.gst.patch_length_m,
+                confinement=self.gst.confinement,
+            )
+
+    # ------------------------------------------------------------------
+    def program(self, weight: float) -> None:
+        """Program the GST cell so the ring realizes ``weight`` (quantized)."""
+        level = int(self.calibration.weights_to_levels(weight))
+        quantized = float(self.calibration.levels_to_weights(level))
+        fraction = float(self.calibration.weight_to_fraction(quantized))
+        self.gst.program_fraction(fraction)
+
+    @property
+    def weight(self) -> float:
+        """Signed weight currently realized by the device."""
+        return float(self.calibration.fraction_to_weight(self.gst.crystalline_fraction))
+
+    def differential_transmission(self) -> float:
+        """Physical (drop - through) on resonance at the current GST state."""
+        amp = float(np.sqrt(self.gst.transmission()))
+        return self.ring.with_extra_loss(amp).differential_on_resonance()
+
+    def apply(self, x: float) -> float:
+        """Multiply an input amplitude by the programmed weight."""
+        return self.weight * x
+
+    @property
+    def programming_energy_j(self) -> float:
+        """Total energy spent programming this cell so far."""
+        return self.gst.energy_spent_j

@@ -1,0 +1,78 @@
+"""Transimpedance amplifier with programmable gain.
+
+The TIA converts the BPD's differential photocurrent into a voltage.  Trident
+gives it a second job during training: its gain is programmed to f'(h_k) per
+row to realize the Hadamard product in the backpropagation gradient-vector
+step (paper Table II / Sec. III-A-2).  During inference and the outer-product
+step the gain is a fixed calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MW
+from repro.errors import ConfigError, DeviceError
+
+
+@dataclass
+class TransimpedanceAmplifier:
+    """Programmable-gain TIA.
+
+    Parameters
+    ----------
+    transimpedance_ohms:
+        Base current-to-voltage gain [V/A].
+    gain:
+        Dimensionless programmable multiplier applied on top of the base
+        transimpedance.  Training programs this to f'(h) in {0, 0.34}.
+    max_gain:
+        Upper bound on the programmable multiplier.
+    power_w:
+        Electrical power draw [W]; Table III attributes 12.1 mW to the
+        BPD + TIA pair, of which the TIA half defaults to 8.1 mW.
+    saturation_v:
+        Output clamps to +/- this voltage.
+    """
+
+    transimpedance_ohms: float = 5_000.0
+    gain: float = 1.0
+    max_gain: float = 4.0
+    power_w: float = 8.1 * MW
+    saturation_v: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.transimpedance_ohms <= 0:
+            raise ConfigError("transimpedance must be positive")
+        if self.max_gain <= 0 or self.saturation_v <= 0:
+            raise ConfigError("max_gain and saturation must be positive")
+        if not 0.0 <= self.gain <= self.max_gain:
+            raise ConfigError(
+                f"gain must lie in [0, {self.max_gain}], got {self.gain}"
+            )
+
+    # ------------------------------------------------------------------
+    def set_gain(self, gain: float) -> None:
+        """Program the multiplier (training uses f'(h) in {0, 0.34})."""
+        if not 0.0 <= gain <= self.max_gain:
+            raise DeviceError(
+                f"gain must lie in [0, {self.max_gain}], got {gain}"
+            )
+        self.gain = float(gain)
+
+    def amplify(self, current_a: np.ndarray | float) -> np.ndarray:
+        """Output voltage [V] for an input current [A], with saturation."""
+        i = np.asarray(current_a, dtype=np.float64)
+        v = i * self.transimpedance_ohms * self.gain
+        return np.clip(v, -self.saturation_v, self.saturation_v)
+
+    def amplify_normalized(self, signal: np.ndarray | float) -> np.ndarray:
+        """Apply only the programmable multiplier to a normalized signal.
+
+        The functional MVM path works in dimensionless units; the base
+        transimpedance is part of the end-to-end calibration constant, so
+        here only ``gain`` acts (this is exactly the Hadamard with f'(h)).
+        """
+        return np.asarray(signal, dtype=np.float64) * self.gain

@@ -1,0 +1,197 @@
+"""MRR tuning methods — the paper's Table I, as executable device models.
+
+Three ways to set the weight realized by a microring resonator:
+
+* **Thermal** — a micro-heater shifts the resonance.  Fast enough, but
+  *volatile*: the heater must keep drawing power for as long as the weight is
+  held, and thermal crosstalk between adjacent heaters limits usable weight
+  resolution to 6 bits (paper Sec. II-B), which is below what NN training
+  needs.
+* **Electric** — the electro-optic effect.  Tiny range (0.18 pm/V), so it
+  needs ±100 V drives and 60 um rings; the paper rules it out for edge
+  devices and so do we (it exists here so Table I can be regenerated and so
+  ablations can quantify *why* it is ruled out).
+* **GST (PCM)** — optical write pulses set a non-volatile attenuation level.
+  Zero hold power, 8-bit resolution (255 levels), 2x faster than thermal.
+
+Each model answers the three questions the cost model asks:
+``write_energy(n)``, ``write_time()``, and ``hold_power(n, t)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import MW, NJ, NS, PJ, US
+
+
+class TuningMethod(enum.Enum):
+    """Enumeration of the tuning technologies compared in Table I."""
+
+    THERMAL = "thermal"
+    ELECTRIC = "electric"
+    GST = "gst"
+
+
+@dataclass(frozen=True)
+class TuningModel:
+    """Common interface for MRR tuning technologies.
+
+    Attributes
+    ----------
+    method:
+        Which technology this is.
+    write_energy_j:
+        Energy to (re)program one MRR's weight once [J].
+    write_time_s:
+        Latency of one programming operation [s].  Programming is assumed
+        parallel across the MRRs of a bank (each has its own wavelength /
+        heater / electrode), so a bank write takes one ``write_time_s``.
+    hold_power_w:
+        Continuous per-MRR power needed to *keep* the programmed weight [W].
+        Zero for non-volatile technologies.
+    bit_resolution:
+        Usable weight resolution [bits] after crosstalk/drive limits.
+    volatile:
+        Whether the weight disappears when power is removed.
+    """
+
+    method: TuningMethod
+    write_energy_j: float
+    write_time_s: float
+    hold_power_w: float
+    bit_resolution: int
+    volatile: bool
+
+    def __post_init__(self) -> None:
+        if self.write_energy_j < 0 or self.write_time_s <= 0:
+            raise ValueError("write energy must be >=0 and write time > 0")
+        if self.hold_power_w < 0:
+            raise ValueError("hold power must be non-negative")
+        if self.bit_resolution < 1:
+            raise ValueError("bit resolution must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of distinct programmable weight levels."""
+        return (1 << self.bit_resolution) - 1
+
+    def write_energy(self, n_mrrs: int) -> float:
+        """Energy [J] to program ``n_mrrs`` rings once."""
+        if n_mrrs < 0:
+            raise ValueError(f"n_mrrs must be non-negative, got {n_mrrs}")
+        return self.write_energy_j * n_mrrs
+
+    def write_time(self) -> float:
+        """Latency [s] of one (bank-parallel) programming operation."""
+        return self.write_time_s
+
+    def hold_energy(self, n_mrrs: int, duration_s: float) -> float:
+        """Energy [J] spent holding ``n_mrrs`` weights for ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        return self.hold_power_w * n_mrrs * duration_s
+
+    def supports_training(self, required_bits: int = 8) -> bool:
+        """Whether the resolution suffices for NN training (paper: 8 bits)."""
+        return self.bit_resolution >= required_bits
+
+
+@dataclass(frozen=True)
+class ThermalTuning(TuningModel):
+    """Thermo-optic micro-heater tuning (DEAP-CNN, PIXEL).
+
+    Table I: 1.02 nJ per tuning event, 0.6 us settling.  The heater draws
+    1.7 mW continuously to hold the resonance shift (paper Sec. III-B quotes
+    1.7 mW thermal vs 2.0 mW GST transient).  Thermal crosstalk limits
+    resolution to 6 bits.
+    """
+
+    method: TuningMethod = TuningMethod.THERMAL
+    write_energy_j: float = 1.02 * NJ
+    write_time_s: float = 0.6 * US
+    hold_power_w: float = 1.7 * MW
+    bit_resolution: int = 6
+    volatile: bool = True
+
+
+@dataclass(frozen=True)
+class ElectricTuning(TuningModel):
+    """Electro-optic tuning.
+
+    Table I quotes the *efficiency* 0.18 pm/V rather than an energy; the
+    energy here is the CV^2 drive estimate for the +/-100 V swing on a 60 um
+    ring the paper describes (Sec. II-B), which is why this option is
+    impractical.  500 ns switching.
+    """
+
+    method: TuningMethod = TuningMethod.ELECTRIC
+    write_energy_j: float = 5.0 * NJ
+    write_time_s: float = 500 * NS
+    hold_power_w: float = 0.05 * MW
+    bit_resolution: int = 7
+    volatile: bool = True
+
+    #: Tuning efficiency from Table I [m/V] — 0.18 pm/V.
+    efficiency_m_per_volt: float = 0.18e-12
+    #: Drive range required for a usable shift [V].
+    drive_range_v: float = 200.0
+
+    def wavelength_shift(self, volts: float) -> float:
+        """Resonance shift [m] produced by a drive voltage."""
+        return self.efficiency_m_per_volt * volts
+
+
+@dataclass(frozen=True)
+class GSTTuning(TuningModel):
+    """Optical GST programming (Trident).
+
+    Table I / Sec. III-B: >=660 pJ write pulse, 300 ns switching (2x faster
+    than thermal), 20 pJ read pulses, non-volatile (10-year retention) at 255
+    levels => 8-bit weights.  Hold power is zero — this is the head-line
+    energy advantage.
+    """
+
+    method: TuningMethod = TuningMethod.GST
+    write_energy_j: float = 660 * PJ
+    write_time_s: float = 300 * NS
+    hold_power_w: float = 0.0
+    bit_resolution: int = 8
+    volatile: bool = False
+
+    #: Low-power read pulse energy [J] (Sec. III-B, 20 pJ from Feldmann).
+    read_energy_j: float = 20 * PJ
+    #: Transient power while a write pulse is applied [W] (Sec. III-B: 2 mW).
+    write_power_w: float = 2.0 * MW
+    #: Non-volatile retention [years].
+    retention_years: float = 10.0
+
+    def read_energy(self, n_reads: int) -> float:
+        """Energy [J] for ``n_reads`` low-power read pulses."""
+        if n_reads < 0:
+            raise ValueError(f"n_reads must be non-negative, got {n_reads}")
+        return self.read_energy_j * n_reads
+
+
+def tuning_comparison_table() -> list[dict[str, object]]:
+    """Regenerate the rows of the paper's Table I.
+
+    Returns one dict per tuning method with the quantities the paper tabulates
+    plus the derived properties the rest of the library consumes.
+    """
+    rows: list[dict[str, object]] = []
+    for model in (ThermalTuning(), ElectricTuning(), GSTTuning()):
+        rows.append(
+            {
+                "method": model.method.value,
+                "write_energy_j": model.write_energy_j,
+                "write_time_s": model.write_time_s,
+                "hold_power_w": model.hold_power_w,
+                "bit_resolution": model.bit_resolution,
+                "volatile": model.volatile,
+                "supports_training": model.supports_training(),
+            }
+        )
+    return rows

@@ -1,0 +1,165 @@
+"""WDM waveguide bus: channel plan, insertion loss, inter-channel crosstalk.
+
+The Trident PE chain shares one wavelength-division-multiplexed waveguide
+(paper Fig 2a).  Each input element x_i rides its own wavelength lambda_i;
+the paper requires the resonances be spaced at least 1.6 nm apart so that a
+ring tuned to lambda_i ignores the other channels (Sec. III-A, ref [32]).
+
+The crosstalk model is the physically meaningful part: each MRR's Lorentzian
+drop response, evaluated at its *neighbours'* wavelengths, leaks a fraction
+of their power into its photodetector.  The bus builds that leakage matrix
+once per channel plan; bank-level models fold it into the analog MVM.  For
+thermally tuned banks the resonance wander makes the effective leakage much
+larger — that is what limits them to 6-bit resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import C_BAND_CENTER, MIN_WDM_SPACING, NM, db_to_linear
+from repro.devices.mrr import AddDropMRR
+from repro.errors import ConfigError, DeviceError
+
+
+@dataclass(frozen=True)
+class WDMChannelPlan:
+    """A grid of WDM channel wavelengths.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of wavelengths multiplexed on the bus (one per weight-bank
+        column, N <= 16 in the default Trident PE geometry).
+    spacing_m:
+        Channel pitch [m]; must respect the paper's 1.6 nm minimum.
+    center_m:
+        Center of the channel comb [m].
+    """
+
+    n_channels: int
+    spacing_m: float = MIN_WDM_SPACING
+    center_m: float = C_BAND_CENTER
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ConfigError(f"need at least one channel, got {self.n_channels}")
+        if self.spacing_m < MIN_WDM_SPACING - 1e-15:
+            raise ConfigError(
+                f"channel spacing {self.spacing_m / NM:.2f} nm violates the "
+                f"{MIN_WDM_SPACING / NM:.1f} nm minimum (paper Sec. III-A)"
+            )
+        if self.center_m <= 0:
+            raise ConfigError("center wavelength must be positive")
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Channel wavelengths [m], ascending, centered on ``center_m``."""
+        idx = np.arange(self.n_channels, dtype=np.float64)
+        offset = (self.n_channels - 1) / 2.0
+        return self.center_m + (idx - offset) * self.spacing_m
+
+    @property
+    def span_m(self) -> float:
+        """Total spectral width occupied by the comb [m]."""
+        return (self.n_channels - 1) * self.spacing_m
+
+
+@dataclass
+class WDMBus:
+    """The shared waveguide distributing WDM channels to a weight bank row.
+
+    Parameters
+    ----------
+    plan:
+        The channel grid.
+    propagation_loss_db_per_cm:
+        Waveguide propagation loss (typical SOI: 1-3 dB/cm).
+    length_m:
+        Physical bus length from laser block to the bank [m].
+    coupling_loss_db:
+        Total fiber/chip + splitter insertion loss [dB].
+    """
+
+    plan: WDMChannelPlan
+    propagation_loss_db_per_cm: float = 2.0
+    length_m: float = 2.0e-3
+    coupling_loss_db: float = 1.0
+    _crosstalk: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.propagation_loss_db_per_cm < 0 or self.coupling_loss_db < 0:
+            raise ConfigError("losses must be non-negative")
+        if self.length_m < 0:
+            raise ConfigError("length must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def insertion_loss_db(self) -> float:
+        """End-to-end insertion loss [dB]."""
+        return self.coupling_loss_db + self.propagation_loss_db_per_cm * (self.length_m / 1e-2)
+
+    @property
+    def transmission(self) -> float:
+        """End-to-end power transmission (linear)."""
+        return db_to_linear(-self.insertion_loss_db)
+
+    def propagate(self, channel_powers: np.ndarray) -> np.ndarray:
+        """Attenuate per-channel powers by the bus insertion loss."""
+        p = np.asarray(channel_powers, dtype=np.float64)
+        if p.shape[-1] != self.plan.n_channels:
+            raise DeviceError(
+                f"expected {self.plan.n_channels} channels, got shape {p.shape}"
+            )
+        if np.any(p < 0):
+            raise DeviceError("channel powers must be non-negative")
+        return p * self.transmission
+
+    # ------------------------------------------------------------------
+    def crosstalk_matrix(self, reference_ring: AddDropMRR | None = None) -> np.ndarray:
+        """Leakage matrix X where X[i, j] is the fraction of channel j's
+        power that a ring tuned to channel i erroneously drops.
+
+        Built by evaluating each ring's Lorentzian drop response at every
+        channel wavelength (vectorized: one ``drop`` call on the full grid
+        per ring).  Diagonal entries are 1 (each ring fully serves its own
+        channel, normalization folded into the weight calibration).
+        """
+        if self._crosstalk is not None:
+            return self._crosstalk
+        ring = reference_ring or AddDropMRR()
+        lams = self.plan.wavelengths
+        n = self.plan.n_channels
+        matrix = np.empty((n, n), dtype=np.float64)
+        for i in range(n):
+            # Retarget the ring's resonance to channel i by scaling n_eff.
+            resonance = ring.geometry.nearest_resonance(lams[i])
+            scale = lams[i] / resonance
+            geometry = ring.geometry.__class__(
+                radius_m=ring.geometry.radius_m,
+                effective_index=ring.geometry.effective_index * scale,
+                group_index=ring.geometry.group_index,
+            )
+            tuned = AddDropMRR(
+                geometry=geometry,
+                input_coupling=ring.input_coupling,
+                drop_coupling=ring.drop_coupling,
+                ring_loss=ring.ring_loss,
+                extra_loss=ring.extra_loss,
+            )
+            row = tuned.drop(lams)
+            row = row / row[i]
+            matrix[i] = row
+        self._crosstalk = matrix
+        return matrix
+
+    def worst_case_crosstalk_db(self, reference_ring: AddDropMRR | None = None) -> float:
+        """Largest off-diagonal leakage in dB (negative = suppressed)."""
+        matrix = self.crosstalk_matrix(reference_ring)
+        off = matrix - np.diag(np.diag(matrix))
+        worst = float(off.max())
+        if worst <= 0:
+            return -np.inf
+        return 10.0 * np.log10(worst)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Trident reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or combination of values."""
+
+
+class DeviceError(ReproError):
+    """A photonic/electronic device was used outside its operating envelope."""
+
+
+class ProgrammingError(DeviceError):
+    """A PCM cell or weight bank was programmed with an out-of-range value."""
+
+
+class EnduranceExceededError(DeviceError):
+    """A PCM cell exceeded its rated switching endurance."""
+
+
+class MappingError(ReproError):
+    """A neural-network layer could not be mapped onto the hardware."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent with the layer/graph definition."""
+
+
+class ScheduleError(ReproError):
+    """The dataflow scheduler produced or received an invalid schedule."""

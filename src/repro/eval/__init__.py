@@ -1,0 +1,34 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+- :mod:`repro.eval.formatting` — ASCII table rendering.
+- :mod:`repro.eval.experiments` — the paper's published numbers and
+  paper-vs-measured comparison records.
+- :mod:`repro.eval.tables` — Table I-V generators.
+- :mod:`repro.eval.figures` — Fig 3-6 data-series generators.
+"""
+
+from repro.eval.experiments import ExperimentResult, PaperTargets, compare
+from repro.eval.figures import (
+    fig3_activation_transfer,
+    fig4_photonic_energy,
+    fig5_area_breakdown,
+    fig6_inferences_per_second,
+)
+from repro.eval.formatting import format_table
+from repro.eval.tables import table1_tuning, table2_mapping_check, table3_power, table4_tops, table5_training
+
+__all__ = [
+    "compare",
+    "ExperimentResult",
+    "fig3_activation_transfer",
+    "fig4_photonic_energy",
+    "fig5_area_breakdown",
+    "fig6_inferences_per_second",
+    "format_table",
+    "PaperTargets",
+    "table1_tuning",
+    "table2_mapping_check",
+    "table3_power",
+    "table4_tops",
+    "table5_training",
+]

@@ -1,0 +1,104 @@
+"""Export every regenerated table/figure as CSV artifacts.
+
+For downstream plotting or spreadsheet analysis: ``export_all(directory)``
+writes one CSV per table/figure plus the consolidated paper-vs-measured
+summary.  Exposed on the CLI as ``python -m repro export --dir out/``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.eval.figures import (
+    fig3_activation_transfer,
+    fig4_photonic_energy,
+    fig5_area_breakdown,
+    fig6_inferences_per_second,
+)
+from repro.eval.summary import ReproductionSummary
+from repro.eval.tables import (
+    table1_tuning,
+    table2_mapping_check,
+    table3_power,
+    table4_tops,
+    table5_training,
+)
+
+
+def _write_csv(path: Path, headers: list[str], rows: list[list[object]]) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Regenerate everything and write CSVs; returns the written paths."""
+    out = Path(directory)
+    if out.exists() and not out.is_dir():
+        raise ConfigError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    # --- tables ------------------------------------------------------------
+    for name, generator in (
+        ("table1_tuning", table1_tuning),
+        ("table2_mapping", table2_mapping_check),
+        ("table3_power", table3_power),
+        ("table4_tops", table4_tops),
+        ("table5_training", table5_training),
+    ):
+        report = generator()
+        path = out / f"{name}.csv"
+        _write_csv(path, [str(h) for h in report.headers], report.rows)
+        written.append(path)
+
+    # --- figures ------------------------------------------------------------
+    fig3 = fig3_activation_transfer()
+    xs = list(fig3.series["input_energy_pj"].values())
+    ys = list(fig3.series["output_energy_pj"].values())
+    path = out / "fig3_activation.csv"
+    _write_csv(path, ["input_pj", "output_pj"], [[x, y] for x, y in zip(xs, ys)])
+    written.append(path)
+
+    for name, report in (
+        ("fig4_energy_j", fig4_photonic_energy()),
+        ("fig6_inferences_per_second", fig6_inferences_per_second()),
+    ):
+        series_names = list(report.series)
+        keys = list(report.series[series_names[0]])
+        rows = [
+            [key] + [report.series[s][key] for s in series_names] for key in keys
+        ]
+        path = out / f"{name}.csv"
+        _write_csv(path, ["model"] + series_names, rows)
+        written.append(path)
+
+    fig5 = fig5_area_breakdown()
+    path = out / "fig5_area.csv"
+    _write_csv(
+        path,
+        ["component", "area_mm2", "percentage"],
+        [
+            [name, fig5.series["area_mm2"][name], fig5.series["percentage"][name]]
+            for name in fig5.series["area_mm2"]
+        ],
+    )
+    written.append(path)
+
+    # --- summary ------------------------------------------------------------
+    summary = ReproductionSummary.collect()
+    path = out / "paper_vs_measured.csv"
+    _write_csv(
+        path,
+        ["experiment", "metric", "paper", "measured", "relative_error", "units"],
+        [
+            [r.experiment, r.metric, r.paper_value, r.measured_value,
+             r.relative_error, r.units]
+            for r in summary.results
+        ],
+    )
+    written.append(path)
+    return written

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; every row must have the
+    same arity as the header.
+    """
+    if not headers:
+        raise ConfigError("need at least one column")
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row arity {len(row)} != header arity {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    numeric = [
+        all(isinstance(row[i], (int, float)) and not isinstance(row[i], bool) for row in rows)
+        if rows
+        else False
+        for i in range(len(headers))
+    ]
+
+    def line(parts: Sequence[str], is_num_row: bool = True) -> str:
+        out = []
+        for i, part in enumerate(parts):
+            if numeric[i] and is_num_row:
+                out.append(part.rjust(widths[i]))
+            else:
+                out.append(part.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = [line([str(h) for h in headers], is_num_row=False), sep]
+    body.extend(line(row) for row in cells)
+    prefix = f"{title}\n{sep}\n" if title else ""
+    return prefix + "\n".join(body)

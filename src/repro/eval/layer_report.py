@@ -1,0 +1,76 @@
+"""Per-layer cost reports — the Maestro-style view of one model on one
+architecture.
+
+Used by the ``python -m repro layers`` command and by anyone debugging why
+a model is fast or slow on a photonic configuration: per-layer tiles,
+rounds, symbols, time, and the energy component split.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import photonic_baselines
+from repro.dataflow.cost_model import PhotonicCostModel
+from repro.dataflow.report import ModelCost
+from repro.errors import ConfigError
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+
+
+def layer_cost_table(
+    model: str,
+    arch_name: str = "trident",
+    batch: int = 128,
+    budget_w: float = 30.0,
+    top: int | None = None,
+) -> tuple[ModelCost, str]:
+    """Per-layer cost table for a zoo model on a photonic architecture.
+
+    ``top`` keeps only the most expensive layers (by time) plus a summary
+    row; None shows every compute layer.
+    """
+    archs = {a.name: a for a in photonic_baselines(budget_w)}
+    if arch_name not in archs:
+        raise ConfigError(
+            f"unknown architecture {arch_name!r}; choose from {sorted(archs)}"
+        )
+    cost = PhotonicCostModel(archs[arch_name], batch=batch).model_cost(
+        build_model(model)
+    )
+    layers = sorted(cost.layers, key=lambda l: -l.time_s)
+    if top is not None:
+        if top < 1:
+            raise ConfigError("top must be positive")
+        layers = layers[:top]
+    rows = []
+    for layer in layers:
+        rows.append(
+            [
+                layer.name,
+                layer.macs / 1e6,
+                layer.tiles,
+                layer.rounds,
+                layer.time_s * 1e6,
+                layer.energy_j * 1e6,
+                layer.energy_breakdown.get("tuning", 0.0) * 1e6,
+                layer.energy_breakdown.get("streaming", 0.0) * 1e6,
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL (all layers)",
+            cost.total_macs / 1e6,
+            sum(l.tiles for l in cost.layers),
+            sum(l.rounds for l in cost.layers),
+            cost.time_s * 1e6,
+            cost.energy_j * 1e6,
+            cost.energy_component("tuning") * 1e6,
+            cost.energy_component("streaming") * 1e6,
+        ]
+    )
+    text = format_table(
+        ["layer", "MMACs", "tiles", "rounds", "time (us)", "energy (uJ)",
+         "tuning (uJ)", "streaming (uJ)"],
+        rows,
+        title=f"{model} on {arch_name} (batch {batch}, {budget_w:.0f} W)",
+    )
+    return cost, text

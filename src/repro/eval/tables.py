@@ -1,0 +1,240 @@
+"""Generators for the paper's Tables I-V.
+
+Each generator recomputes the table from the library's models (never from
+hard-coded results), returns the rows plus paper-vs-measured comparison
+records, and renders ASCII text for the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import TridentConfig
+from repro.arch.control import OperatingMode, table2_mapping
+from repro.arch.pe import ProcessingElement
+from repro.arch.power import PowerModel
+from repro.baselines.electronic import agx_xavier_training, electronic_baselines
+from repro.devices.tuning import tuning_comparison_table
+from repro.eval.experiments import PAPER, ExperimentResult, compare
+from repro.eval.formatting import format_table
+from repro.nn import build_model
+from repro.training.latency import TrainingCostModel
+
+
+@dataclass
+class TableReport:
+    """A regenerated table plus its paper comparisons."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    comparisons: list[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """Rendered ASCII table."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def max_relative_error(self) -> float:
+        """Worst |relative error| across the comparisons."""
+        if not self.comparisons:
+            return 0.0
+        return max(c.within for c in self.comparisons)
+
+
+# ---------------------------------------------------------------------------
+# Table I — tuning method comparison
+# ---------------------------------------------------------------------------
+def table1_tuning() -> TableReport:
+    """Table I: tuning method comparison."""
+    rows = []
+    for record in tuning_comparison_table():
+        rows.append(
+            [
+                record["method"],
+                record["write_energy_j"] * 1e12,  # pJ
+                record["write_time_s"] * 1e9,  # ns
+                record["hold_power_w"] * 1e3,  # mW
+                record["bit_resolution"],
+                record["volatile"],
+            ]
+        )
+    by_method = {r[0]: r for r in rows}
+    comparisons = [
+        compare("table1", "thermal write energy", PAPER.thermal_write_energy_j * 1e12,
+                by_method["thermal"][1], "pJ"),
+        compare("table1", "thermal write time", PAPER.thermal_write_time_s * 1e9,
+                by_method["thermal"][2], "ns"),
+        compare("table1", "gst write energy", PAPER.gst_write_energy_j * 1e12,
+                by_method["gst"][1], "pJ"),
+        compare("table1", "gst write time", PAPER.gst_write_time_s * 1e9,
+                by_method["gst"][2], "ns"),
+        compare("table1", "electric write time", PAPER.electric_speed_s * 1e9,
+                by_method["electric"][2], "ns"),
+    ]
+    return TableReport(
+        title="Table I: Tuning Method Comparison",
+        headers=["method", "write energy (pJ)", "write time (ns)",
+                 "hold power (mW)", "bits", "volatile"],
+        rows=rows,
+        comparisons=comparisons,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II — PE hardware device mapping (verified numerically)
+# ---------------------------------------------------------------------------
+def table2_mapping_check(seed: int = 0) -> TableReport:
+    """Regenerate Table II and *verify* each mode computes its product.
+
+    A real (quantized) PE is driven in each of the three modes and its
+    output compared against the exact linear algebra; the 'max error'
+    column is the observed deviation (quantization-limited, ~1e-2).
+    """
+    rng = np.random.default_rng(seed)
+    mapping = table2_mapping()
+    n = 8
+    errors: dict[OperatingMode, float] = {}
+
+    # Inference: y = W x.
+    pe = ProcessingElement()
+    w = rng.uniform(-1, 1, (n, n))
+    x = rng.uniform(-1, 1, n)
+    pe.program_weights(w)
+    y_hw = pe.forward(x, apply_activation=False)
+    errors[OperatingMode.INFERENCE] = float(np.max(np.abs(y_hw - w @ x)))
+
+    # Gradient vector: (W^T d) ⊙ f'(h).  LDSU bits were captured above.
+    pe2 = ProcessingElement()
+    w_next = rng.uniform(-1, 1, (n, n))
+    delta = rng.uniform(-1, 1, n)
+    h = rng.uniform(-1, 1, n)
+    pe2.program_weights(rng.uniform(-1, 1, (n, n)))
+    pe2.forward(np.zeros(n), apply_activation=False)  # benign capture
+    padded = np.zeros(pe2.rows)
+    padded[:n] = h
+    pe2.ldsu.capture(padded)
+    pe2.program_weights(w_next.T)
+    g_hw = pe2.gradient_vector(delta)
+    fprime = np.where(h > 0, 0.34, 0.0)
+    errors[OperatingMode.GRADIENT_VECTOR] = float(
+        np.max(np.abs(g_hw - (w_next.T @ delta) * fprime))
+    )
+
+    # Outer product: dW = d ⊗ y.
+    pe3 = ProcessingElement()
+    d = rng.uniform(-1, 1, n)
+    y_prev = rng.uniform(-1, 1, n)
+    dw_hw = pe3.outer_product(d, y_prev)
+    errors[OperatingMode.OUTER_PRODUCT] = float(
+        np.max(np.abs(dw_hw - np.outer(d, y_prev)))
+    )
+
+    rows = []
+    for mode in OperatingMode:
+        enc = mapping[mode]
+        rows.append(
+            [
+                mode.value,
+                enc["input_laser_sources"],
+                enc["mrr_weight_bank"],
+                enc["bpd_output"],
+                enc["tia_eo_lasers"],
+                errors[mode],
+            ]
+        )
+    return TableReport(
+        title="Table II: PE Hardware Device Mapping (numerically verified)",
+        headers=["mode", "input lasers", "MRR weight bank", "BPD output",
+                 "TIA / E-O", "max error"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table III — PE power breakdown
+# ---------------------------------------------------------------------------
+def table3_power(config: TridentConfig | None = None) -> TableReport:
+    """Table III: per-PE power breakdown."""
+    config = config or TridentConfig()
+    model = PowerModel(config)
+    rows = [
+        [r["component"], r["power_w"] * 1e3, r["percentage"]]
+        for r in model.breakdown.as_rows()
+    ]
+    comparisons = [
+        compare("table3", "PE total power", PAPER.pe_total_power_w,
+                model.breakdown.total_w, "W"),
+        compare("table3", "GST tuning share", PAPER.gst_tuning_share_pct,
+                model.post_tuning_drop_fraction * 100, "%"),
+        compare("table3", "post-tuning PE power", PAPER.pe_post_tuning_power_w,
+                config.pe_streaming_power_w, "W"),
+        compare("table3", "PEs at 30 W", PAPER.n_pes,
+                model.max_pes_for_budget(30.0), "PEs"),
+    ]
+    return TableReport(
+        title="Table III: Trident Device Power Breakdown (per PE)",
+        headers=["component", "power (mW)", "percentage"],
+        rows=rows,
+        comparisons=comparisons,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — Trident vs electronic accelerators
+# ---------------------------------------------------------------------------
+def table4_tops(config: TridentConfig | None = None) -> TableReport:
+    """Table IV: Trident vs electronic accelerators."""
+    config = config or TridentConfig()
+    rows = []
+    for acc in electronic_baselines():
+        rows.append([acc.name, acc.peak_tops, acc.power_w, acc.tops_per_watt, acc.can_train])
+    rows.append(
+        ["trident", config.peak_tops, config.power_budget_w, config.tops_per_watt, True]
+    )
+    comparisons = [
+        compare("table4", "trident TOPS", PAPER.trident_tops, config.peak_tops, "TOPS"),
+        compare("table4", "trident TOPS/W (7.8/30)", PAPER.trident_tops / PAPER.power_budget_w,
+                config.tops_per_watt, "TOPS/W"),
+        compare("table4", "xavier TOPS", PAPER.xavier_tops, rows[0][1], "TOPS"),
+        compare("table4", "tb96 TOPS", PAPER.tb96_tops, rows[1][1], "TOPS"),
+        compare("table4", "coral TOPS", PAPER.coral_tops, rows[2][1], "TOPS"),
+    ]
+    return TableReport(
+        title="Table IV: Performance of Trident vs. Electronic Accelerators",
+        headers=["accelerator", "TOPS", "Watts", "TOPS per W", "training"],
+        rows=rows,
+        comparisons=comparisons,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — time to train 50 000 images
+# ---------------------------------------------------------------------------
+def table5_training(batch: int = 32, n_samples: int = 50_000) -> TableReport:
+    """Table V: time to train 50,000 images."""
+    tcm = TrainingCostModel(batch=batch)
+    paper = PAPER.training_table()
+    rows = []
+    comparisons = []
+    for model_name, (paper_xavier, paper_trident) in paper.items():
+        net = build_model(model_name)
+        xavier_s = agx_xavier_training(model_name).training_time_s(net, n_samples, batch=batch)
+        trident_s = tcm.training_time_s(net, n_samples)
+        pct = (trident_s - xavier_s) / xavier_s * 100.0
+        paper_pct = (paper_trident - paper_xavier) / paper_xavier * 100.0
+        rows.append([model_name, xavier_s, trident_s, pct, paper_pct])
+        comparisons.append(
+            compare("table5", f"{model_name} xavier time", paper_xavier, xavier_s, "s")
+        )
+        comparisons.append(
+            compare("table5", f"{model_name} trident time", paper_trident, trident_s, "s")
+        )
+    return TableReport(
+        title="Table V: Time to Train 50,000 Images",
+        headers=["model", "xavier (s)", "trident (s)", "pct change", "paper pct"],
+        rows=rows,
+        comparisons=comparisons,
+    )

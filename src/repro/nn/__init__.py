@@ -1,0 +1,59 @@
+"""Neural-network substrate: layer descriptors, model zoo, reference math.
+
+- :mod:`repro.nn.layers` — shape/MAC/parameter accounting per layer kind.
+- :mod:`repro.nn.graph` — DAG network descriptor (residual + inception).
+- :mod:`repro.nn.models` — AlexNet, VGG-16, GoogleNet, ResNet-50,
+  MobileNetV2 exactly as the paper evaluates them (224 x 224 x 3 inputs).
+- :mod:`repro.nn.reference` — NumPy forward/backward (the digital baseline
+  the photonic functional sim is validated against).
+- :mod:`repro.nn.quantization` — 8-bit / 6-bit weight quantizers.
+- :mod:`repro.nn.datasets` — synthetic tasks for in-situ training runs.
+"""
+
+from repro.nn.graph import LayerStats, Network, NetworkStats
+from repro.nn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool,
+    LayerSpec,
+    Pool,
+    TensorShape,
+)
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    alexnet,
+    build_model,
+    googlenet,
+    mobilenet_v2,
+    resnet50,
+    vgg16,
+)
+
+__all__ = [
+    "Activation",
+    "Add",
+    "alexnet",
+    "BatchNorm",
+    "build_model",
+    "Concat",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "GlobalAvgPool",
+    "googlenet",
+    "LayerSpec",
+    "LayerStats",
+    "mobilenet_v2",
+    "MODEL_BUILDERS",
+    "Network",
+    "NetworkStats",
+    "Pool",
+    "resnet50",
+    "TensorShape",
+    "vgg16",
+]

@@ -1,0 +1,260 @@
+"""Model zoo: the five CNNs the paper evaluates (Sec. IV).
+
+AlexNet, VGG-16, GoogleNet (Inception v1), ResNet-50, and MobileNetV2, each
+with a 224 x 224 x 3 input and ReLU activations — the configuration the
+paper analyzes with Maestro.  The builders construct :class:`Network` DAGs
+from the published layer tables; totals (MACs / parameters) are asserted
+against the literature in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ShapeError
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool,
+    Pool,
+    TensorShape,
+)
+
+IMAGENET_INPUT = TensorShape(224, 224, 3)
+
+
+# ---------------------------------------------------------------------------
+# AlexNet
+# ---------------------------------------------------------------------------
+def alexnet(input_shape: TensorShape = IMAGENET_INPUT, n_classes: int = 1000) -> Network:
+    """Classic AlexNet (5 conv + 3 fc), ~61 M parameters, ~0.7 G MACs."""
+    net = Network("alexnet", input_shape)
+    net.add(Conv2D("conv1", 96, kernel=11, stride=4, padding=2))
+    net.add(Pool("pool1", kernel=3, stride=2))
+    net.add(Conv2D("conv2", 256, kernel=5, padding=2))
+    net.add(Pool("pool2", kernel=3, stride=2))
+    net.add(Conv2D("conv3", 384, kernel=3))
+    net.add(Conv2D("conv4", 384, kernel=3))
+    net.add(Conv2D("conv5", 256, kernel=3))
+    net.add(Pool("pool3", kernel=3, stride=2))
+    net.add(Dense("fc6", 4096))
+    net.add(Dense("fc7", 4096))
+    net.add(Dense("fc8", n_classes, fused_activation=False))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# VGG-16
+# ---------------------------------------------------------------------------
+def vgg16(input_shape: TensorShape = IMAGENET_INPUT, n_classes: int = 1000) -> Network:
+    """VGG-16 (13 conv + 3 fc), ~138 M parameters, ~15.5 G MACs."""
+    net = Network("vgg16", input_shape)
+    block = 0
+    for n_convs, channels in ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512)):
+        block += 1
+        for i in range(1, n_convs + 1):
+            net.add(Conv2D(f"conv{block}_{i}", channels, kernel=3))
+        net.add(Pool(f"pool{block}", kernel=2, stride=2))
+    net.add(Dense("fc1", 4096))
+    net.add(Dense("fc2", 4096))
+    net.add(Dense("fc3", n_classes, fused_activation=False))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# GoogleNet (Inception v1)
+# ---------------------------------------------------------------------------
+def _inception(
+    net: Network,
+    name: str,
+    source: str,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    pool_proj: int,
+) -> str:
+    """One Inception module; returns the concat node's name."""
+    b1 = net.add(Conv2D(f"{name}_1x1", c1, kernel=1), source)
+    r3 = net.add(Conv2D(f"{name}_3x3red", c3r, kernel=1), source)
+    b3 = net.add(Conv2D(f"{name}_3x3", c3, kernel=3), r3)
+    r5 = net.add(Conv2D(f"{name}_5x5red", c5r, kernel=1), source)
+    b5 = net.add(Conv2D(f"{name}_5x5", c5, kernel=5), r5)
+    pool = net.add(Pool(f"{name}_pool", kernel=3, stride=1, padding=1), source)
+    bp = net.add(Conv2D(f"{name}_poolproj", pool_proj, kernel=1), pool)
+    return net.add(Concat(f"{name}_concat"), [b1, b3, b5, bp])
+
+
+#: Inception module configurations: (1x1, 3x3red, 3x3, 5x5red, 5x5, pool_proj).
+GOOGLENET_INCEPTIONS: dict[str, tuple[int, int, int, int, int, int]] = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def googlenet(input_shape: TensorShape = IMAGENET_INPUT, n_classes: int = 1000) -> Network:
+    """GoogleNet / Inception v1, ~6 M parameters, ~1.6 G MACs."""
+    net = Network("googlenet", input_shape)
+    net.add(Conv2D("conv1", 64, kernel=7, stride=2, padding=3))
+    net.add(Pool("pool1", kernel=3, stride=2, padding=1))
+    net.add(Conv2D("conv2_red", 64, kernel=1))
+    net.add(Conv2D("conv2", 192, kernel=3))
+    last = net.add(Pool("pool2", kernel=3, stride=2, padding=1))
+    for stage, pool_after in (("3a", False), ("3b", True), ("4a", False), ("4b", False),
+                              ("4c", False), ("4d", False), ("4e", True), ("5a", False),
+                              ("5b", False)):
+        last = _inception(net, f"inception{stage}", last, *GOOGLENET_INCEPTIONS[stage])
+        if pool_after:
+            last = net.add(Pool(f"pool_{stage}", kernel=3, stride=2, padding=1), last)
+    net.add(GlobalAvgPool("gap"), last)
+    net.add(Dense("fc", n_classes, fused_activation=False))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# ResNet-50
+# ---------------------------------------------------------------------------
+def _bottleneck(
+    net: Network,
+    name: str,
+    source: str,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> str:
+    """One ResNet bottleneck (1x1 -> 3x3 -> 1x1 + shortcut)."""
+    a = net.add(Conv2D(f"{name}_a", mid_channels, kernel=1), source)
+    b = net.add(Conv2D(f"{name}_b", mid_channels, kernel=3, stride=stride), a)
+    c = net.add(
+        Conv2D(f"{name}_c", out_channels, kernel=1, fused_activation=False), b
+    )
+    if project:
+        shortcut = net.add(
+            Conv2D(f"{name}_proj", out_channels, kernel=1, stride=stride,
+                   fused_activation=False),
+            source,
+        )
+    else:
+        shortcut = source
+    return net.add(Add(f"{name}_add"), [c, shortcut])
+
+
+#: Stage layout: (blocks, mid_channels, out_channels, first_stride).
+RESNET50_STAGES: tuple[tuple[int, int, int, int], ...] = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+def resnet50(input_shape: TensorShape = IMAGENET_INPUT, n_classes: int = 1000) -> Network:
+    """ResNet-50, ~25.6 M parameters, ~4.1 G MACs."""
+    net = Network("resnet50", input_shape)
+    net.add(Conv2D("conv1", 64, kernel=7, stride=2, padding=3))
+    last = net.add(Pool("pool1", kernel=3, stride=2, padding=1))
+    for stage_idx, (blocks, mid, out, first_stride) in enumerate(RESNET50_STAGES, start=2):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            last = _bottleneck(
+                net,
+                f"res{stage_idx}_{block}",
+                last,
+                mid_channels=mid,
+                out_channels=out,
+                stride=stride,
+                project=(block == 0),
+            )
+    net.add(GlobalAvgPool("gap"), last)
+    net.add(Dense("fc", n_classes, fused_activation=False))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# MobileNetV2
+# ---------------------------------------------------------------------------
+#: Inverted-residual stages: (expansion, out_channels, repeats, first_stride).
+MOBILENETV2_STAGES: tuple[tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenet_v2(input_shape: TensorShape = IMAGENET_INPUT, n_classes: int = 1000) -> Network:
+    """MobileNetV2, ~3.5 M parameters, ~0.3 G MACs."""
+    net = Network("mobilenet_v2", input_shape)
+    last = net.add(Conv2D("conv_stem", 32, kernel=3, stride=2))
+    in_channels = 32
+    block_id = 0
+    for expansion, out_channels, repeats, first_stride in MOBILENETV2_STAGES:
+        for r in range(repeats):
+            stride = first_stride if r == 0 else 1
+            name = f"block{block_id}"
+            source = last
+            hidden = in_channels * expansion
+            if expansion != 1:
+                last = net.add(Conv2D(f"{name}_expand", hidden, kernel=1), last)
+            last = net.add(DepthwiseConv2D(f"{name}_dw", kernel=3, stride=stride), last)
+            last = net.add(
+                Conv2D(f"{name}_project", out_channels, kernel=1,
+                       fused_activation=False),
+                last,
+            )
+            if stride == 1 and in_channels == out_channels:
+                last = net.add(Add(f"{name}_add"), [last, source])
+            in_channels = out_channels
+            block_id += 1
+    net.add(Conv2D("conv_head", 1280, kernel=1), last)
+    net.add(GlobalAvgPool("gap"))
+    net.add(Dense("fc", n_classes, fused_activation=False))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+MODEL_BUILDERS: dict[str, Callable[..., Network]] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "googlenet": googlenet,
+    "resnet50": resnet50,
+    "mobilenet_v2": mobilenet_v2,
+}
+
+#: The presentation order the paper's figures use.
+PAPER_MODELS: tuple[str, ...] = (
+    "googlenet",
+    "mobilenet_v2",
+    "vgg16",
+    "alexnet",
+    "resnet50",
+)
+
+
+def build_model(name: str, **kwargs) -> Network:
+    """Build a zoo model by name (see :data:`MODEL_BUILDERS`)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ShapeError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

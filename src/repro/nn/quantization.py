@@ -1,0 +1,103 @@
+"""Weight quantization onto PCM level grids.
+
+GST cells resolve 255 levels (8-bit); thermally tuned MRRs resolve only 6
+bits (paper Sec. II-B).  The symmetric per-tensor scheme here mirrors what
+the accelerator's control unit does before programming a bank: scale the
+tensor to unit max, snap to the level grid, remember the scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProgrammingError
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Symmetric uniform quantizer over [-1, 1] with ``levels`` steps."""
+
+    levels: int = 255
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ProgrammingError(f"need >= 2 levels, got {self.levels}")
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "UniformQuantizer":
+        """Quantizer with 2**bits - 1 levels (255 for 8-bit GST)."""
+        if bits < 1:
+            raise ProgrammingError(f"bits must be positive, got {bits}")
+        return cls(levels=(1 << bits) - 1)
+
+    @property
+    def step(self) -> float:
+        """Level pitch in weight units."""
+        return 2.0 / (self.levels - 1)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Snap values in [-1, 1] onto integer levels [0, levels-1]."""
+        v = np.asarray(values, dtype=np.float64)
+        if np.any(np.abs(v) > 1.0 + 1e-9):
+            raise ProgrammingError("values must lie in [-1, 1]; scale first")
+        return np.rint((np.clip(v, -1.0, 1.0) + 1.0) / 2.0 * (self.levels - 1)).astype(
+            np.int64
+        )
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """Map integer levels back to weight values in [-1, 1]."""
+        lv = np.asarray(levels, dtype=np.float64)
+        if np.any(lv < 0) or np.any(lv > self.levels - 1):
+            raise ProgrammingError(
+                f"levels must lie in [0, {self.levels - 1}]"
+            )
+        return lv / (self.levels - 1) * 2.0 - 1.0
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """quantize + dequantize in one call."""
+        return self.dequantize(self.quantize(values))
+
+    def max_error(self) -> float:
+        """Worst-case representation error (half a step)."""
+        return self.step / 2.0
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized tensor with its restore scale."""
+
+    levels: np.ndarray
+    scale: float
+    quantizer: UniformQuantizer
+
+    @property
+    def values(self) -> np.ndarray:
+        """Dequantized real values."""
+        return self.quantizer.dequantize(self.levels) * self.scale
+
+
+def quantize_tensor(
+    values: np.ndarray, bits: int = 8
+) -> QuantizedTensor:
+    """Symmetric per-tensor quantization: scale to unit max, snap to grid."""
+    v = np.asarray(values, dtype=np.float64)
+    q = UniformQuantizer.from_bits(bits)
+    peak = float(np.max(np.abs(v))) if v.size else 0.0
+    scale = peak if peak > 0 else 1.0
+    return QuantizedTensor(levels=q.quantize(v / scale), scale=scale, quantizer=q)
+
+
+def quantization_snr_db(values: np.ndarray, bits: int = 8) -> float:
+    """Signal-to-quantization-noise ratio of round-tripping a tensor."""
+    v = np.asarray(values, dtype=np.float64)
+    if not v.size or not np.any(v):
+        raise ProgrammingError("need a non-zero tensor for SNR")
+    restored = quantize_tensor(v, bits).values
+    noise = v - restored
+    signal_power = float(np.mean(v * v))
+    noise_power = float(np.mean(noise * noise))
+    if noise_power == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)

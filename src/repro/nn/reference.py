@@ -1,0 +1,247 @@
+"""Digital reference implementations (pure NumPy).
+
+This is the "train a digital model" baseline the paper argues against
+(Sec. I) and the ground truth the photonic functional simulator is validated
+to: dense forward/backward, the ReLU and GST activations, losses, an SGD
+MLP, and an im2col convolution used to validate the conv -> GEMM lowering.
+
+Everything is batch-vectorized: activations are (batch, features) and a
+forward pass is one matmul per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+GST_SLOPE = 0.34
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+def relu(x: np.ndarray) -> np.ndarray:
+    """max(0, x)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """1 above zero, 0 below."""
+    return (x > 0.0).astype(np.float64)
+
+
+def gst_activation(x: np.ndarray, slope: float = GST_SLOPE) -> np.ndarray:
+    """The GST cell's transfer: slope * max(0, x) (paper Fig 3)."""
+    return slope * np.maximum(x, 0.0)
+
+
+def gst_derivative(x: np.ndarray, slope: float = GST_SLOPE) -> np.ndarray:
+    """Two-valued derivative: slope above threshold, 0 below."""
+    return np.where(x > 0.0, slope, 0.0)
+
+
+ACTIVATIONS: dict[str, tuple] = {
+    "relu": (relu, relu_grad),
+    "gst": (gst_activation, gst_derivative),
+    "identity": (lambda x: x, lambda x: np.ones_like(x)),
+}
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean-squared error and its gradient w.r.t. pred."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ShapeError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy (labels are integer class ids) + gradient."""
+    logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+    labels = np.atleast_1d(np.asarray(labels))
+    if labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"{labels.shape[0]} labels for {logits.shape[0]} logit rows"
+        )
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    picked = probs[np.arange(batch), labels]
+    loss = float(-np.mean(np.log(np.maximum(picked, 1e-30))))
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+# ---------------------------------------------------------------------------
+# Dense MLP with explicit backprop (Eqs. 1-3 of the paper)
+# ---------------------------------------------------------------------------
+@dataclass
+class MLPGradients:
+    """Weight gradients, one array per layer."""
+
+    weights: list[np.ndarray] = field(default_factory=list)
+
+
+class DigitalMLP:
+    """Bias-free fully connected network trained with plain backprop.
+
+    Bias-free because Trident's weight banks implement pure matrix-vector
+    products; this keeps the digital baseline architecturally identical to
+    what the photonic hardware trains.
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        activation: str = "gst",
+        seed: int = 0,
+        weight_scale: float | None = None,
+    ) -> None:
+        if len(dims) < 2:
+            raise ShapeError("need at least input and output widths")
+        if activation not in ACTIVATIONS:
+            raise ShapeError(
+                f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}"
+            )
+        self.dims = list(dims)
+        self.activation = activation
+        self._act, self._act_grad = ACTIVATIONS[activation]
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        for n_in, n_out in zip(dims[:-1], dims[1:]):
+            scale = weight_scale if weight_scale is not None else np.sqrt(2.0 / n_in)
+            self.weights.append(rng.normal(0.0, scale, size=(n_out, n_in)))
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.weights)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray, return_intermediates: bool = False
+    ):
+        """Batched forward pass; activation on all layers except the last.
+
+        ``x`` is (batch, n_in).  Returns logits (batch, n_out), plus the
+        per-layer (inputs, pre-activations) when requested.
+        """
+        a = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if a.shape[1] != self.dims[0]:
+            raise ShapeError(f"input width {a.shape[1]} != {self.dims[0]}")
+        inputs: list[np.ndarray] = []
+        logits: list[np.ndarray] = []
+        for k, w in enumerate(self.weights):
+            inputs.append(a)
+            h = a @ w.T
+            logits.append(h)
+            a = self._act(h) if k < self.n_layers - 1 else h
+        if return_intermediates:
+            return a, inputs, logits
+        return a
+
+    def gradients(self, x: np.ndarray, grad_output: np.ndarray) -> MLPGradients:
+        """Backprop a loss gradient to per-layer weight gradients.
+
+        Implements the paper's Eqs. (2)-(3): delta_h propagates through
+        W^T and the activation derivative; dW = delta_h^T y_{k-1}.
+        """
+        _, inputs, logits = self.forward(x, return_intermediates=True)
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        grads = [np.zeros_like(w) for w in self.weights]
+        delta = grad_output  # (batch, n_out) — dL/dh for the last layer
+        for k in reversed(range(self.n_layers)):
+            grads[k] = delta.T @ inputs[k]
+            if k > 0:
+                delta = (delta @ self.weights[k]) * self._act_grad(logits[k - 1])
+        return MLPGradients(weights=grads)
+
+    def train_step(
+        self, x: np.ndarray, labels: np.ndarray, lr: float = 0.05
+    ) -> float:
+        """One SGD step on softmax cross-entropy; returns the loss."""
+        logits = self.forward(x)
+        loss, grad = cross_entropy_loss(logits, labels)
+        grads = self.gradients(x, grad)
+        for w, g in zip(self.weights, grads.weights):
+            w -= lr * g
+        return loss
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class predictions."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a batch."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+
+# ---------------------------------------------------------------------------
+# im2col convolution (validates the conv -> GEMM lowering)
+# ---------------------------------------------------------------------------
+def im2col(
+    image: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold (H, W, C) into (out_h * out_w, kernel * kernel * C) patches."""
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 3:
+        raise ShapeError(f"expected (H, W, C), got shape {img.shape}")
+    if padding:
+        img = np.pad(img, ((padding, padding), (padding, padding), (0, 0)))
+    h, w, c = img.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError("convolution output collapsed")
+    # Strided sliding-window view, then one reshape copy (guide: views, not
+    # per-patch Python loops).
+    s0, s1, s2 = img.strides
+    windows = np.lib.stride_tricks.as_strided(
+        img,
+        shape=(out_h, out_w, kernel, kernel, c),
+        strides=(s0 * stride, s1 * stride, s0, s1, s2),
+        writeable=False,
+    )
+    return windows.reshape(out_h * out_w, kernel * kernel * c)
+
+
+def conv2d_reference(
+    image: np.ndarray,
+    filters: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct conv via im2col GEMM: (H, W, C) x (K, R, R, C) -> (oh, ow, K)."""
+    filters = np.asarray(filters, dtype=np.float64)
+    if filters.ndim != 4 or filters.shape[1] != filters.shape[2]:
+        raise ShapeError(f"filters must be (K, R, R, C), got {filters.shape}")
+    k_out, r, _, c = filters.shape
+    if image.shape[2] != c:
+        raise ShapeError(
+            f"channel mismatch: image C={image.shape[2]}, filters C={c}"
+        )
+    cols = im2col(image, r, stride, padding)
+    out = cols @ filters.reshape(k_out, r * r * c).T
+    h_pad = image.shape[0] + 2 * padding
+    out_h = (h_pad - r) // stride + 1
+    return out.reshape(out_h, -1, k_out)

@@ -1,0 +1,45 @@
+"""Physical-layer optical simulation.
+
+The functional simulator in :mod:`repro.arch` works in normalized signal
+units (weights and inputs in [-1, 1]).  This package drops to the physical
+layer — watts, amperes, decibels — and answers the questions normalization
+hides:
+
+- :mod:`repro.optics.spectrum` — cascaded ring transfer along the shared
+  bus: a channel is depleted by every ring it passes before reaching its
+  own, and neighbouring resonances leak (the *physical* crosstalk matrix).
+- :mod:`repro.optics.physical_bank` — a weight bank simulated end-to-end in
+  absolute units: laser powers, splitter and bus losses, per-ring drop /
+  through powers at the programmed GST states, balanced photocurrents with
+  ampere-domain shot/thermal noise, TIA voltages, and the calibration that
+  recovers the normalized MVP.  Cross-validated against
+  :class:`repro.arch.weight_bank.WeightBank` in the tests.
+- :mod:`repro.optics.link_budget` — the scaling analysis: how many rows and
+  columns one laser can drive at a required bit resolution, given losses
+  and detector noise.  This is the physical argument behind the paper's
+  16 x 16 bank choice.
+"""
+
+from repro.optics.link_budget import LinkBudget, LinkBudgetReport
+from repro.optics.physical_bank import PhysicalBankOutput, PhysicalWeightBank
+from repro.optics.ring_design import (
+    RingDesignPoint,
+    best_design,
+    design_space,
+    evaluate_design,
+)
+from repro.optics.spectrum import BusSpectrum, cascade_through, physical_crosstalk_matrix
+
+__all__ = [
+    "best_design",
+    "BusSpectrum",
+    "cascade_through",
+    "design_space",
+    "evaluate_design",
+    "LinkBudget",
+    "LinkBudgetReport",
+    "PhysicalBankOutput",
+    "PhysicalWeightBank",
+    "physical_crosstalk_matrix",
+    "RingDesignPoint",
+]

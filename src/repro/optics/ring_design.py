@@ -1,0 +1,121 @@
+"""Ring/GST co-design space exploration.
+
+A real tension the abstract weight model hides: the ring's coupling sets
+its Q, and
+
+- **low Q** (strong coupling) gives a *wide weight range* (the lossy
+  crystalline state still swings the differential strongly negative) but
+  *broad, loss-heavy skirts* that leak neighbouring WDM channels;
+- **high Q** (weak coupling) isolates channels but is so loss-sensitive
+  that even the amorphous patch's residual absorption collapses the drop
+  port — the signed weight range shrinks or vanishes entirely.
+
+The patch geometry (length x confinement) moves the same trade-off from
+the other side.
+
+``worst_leakage_db`` below is the *uncompensated* cascaded leakage from
+:class:`repro.optics.spectrum.BusSpectrum`.  Deployed broadcast-and-weight
+systems do not run uncompensated: the leakage is a deterministic linear
+mixing that per-weight feedback calibration absorbs (Tait et al., paper
+ref [32]) — which is exactly the abstraction level of
+:class:`repro.arch.weight_bank.WeightBank`.  This module quantifies how
+much work that calibration has to do, and which geometries keep it easy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.mrr import AddDropMRR
+from repro.devices.pcm_mrr import build_calibration
+from repro.devices.waveguide import WDMChannelPlan
+from repro.errors import ConfigError, DeviceError
+from repro.optics.spectrum import BusSpectrum
+
+
+@dataclass(frozen=True)
+class RingDesignPoint:
+    """One evaluated (coupling, patch) configuration."""
+
+    coupling: float
+    patch_length_m: float
+    confinement: float
+    q_factor: float
+    #: Symmetric weight swing d_sym (0 if signed weights unrealizable).
+    d_sym: float
+    #: Worst-case uncompensated neighbour leakage [dB] (negative = good).
+    worst_leakage_db: float
+    #: Whether signed weights are realizable at all.
+    viable: bool
+
+
+def evaluate_design(
+    coupling: float,
+    patch_length_m: float,
+    confinement: float = 0.2,
+    n_channels: int = 16,
+) -> RingDesignPoint:
+    """Score one ring/patch configuration."""
+    if not 0.0 < coupling < 1.0:
+        raise ConfigError(f"coupling must be in (0, 1), got {coupling}")
+    if patch_length_m <= 0:
+        raise ConfigError("patch length must be positive")
+    ring = AddDropMRR(input_coupling=coupling, drop_coupling=coupling)
+    try:
+        cal = build_calibration(
+            ring, patch_length_m=patch_length_m, confinement=confinement
+        )
+        d_sym = cal.d_sym
+        viable = True
+    except DeviceError:
+        d_sym = 0.0
+        viable = False
+
+    plan = WDMChannelPlan(n_channels)
+    # Mid-programming operating point (amplitude 0.95 per pass).
+    spectrum = BusSpectrum.build(plan, ring, extra_losses=np.full(n_channels, 0.95))
+    return RingDesignPoint(
+        coupling=coupling,
+        patch_length_m=patch_length_m,
+        confinement=confinement,
+        q_factor=ring.q_factor(),
+        d_sym=d_sym,
+        worst_leakage_db=spectrum.crosstalk_db(),
+        viable=viable,
+    )
+
+
+def design_space(
+    couplings: tuple[float, ...] = (0.90, 0.95, 0.97, 0.983, 0.99),
+    patch_lengths_m: tuple[float, ...] = (0.1e-6, 0.2e-6, 0.3e-6, 0.5e-6),
+    confinement: float = 0.2,
+    n_channels: int = 16,
+) -> list[RingDesignPoint]:
+    """Sweep the (coupling, patch length) grid."""
+    points = []
+    for c in couplings:
+        for length in patch_lengths_m:
+            points.append(evaluate_design(c, length, confinement, n_channels))
+    return points
+
+
+def best_design(
+    points: list[RingDesignPoint], max_leakage_db: float = -10.0
+) -> RingDesignPoint:
+    """Largest weight swing among viable points with acceptable leakage.
+
+    d_sym matters beyond viability: the link budget's full-scale current
+    (hence SNR) is proportional to it.  If no point meets the leakage bound
+    the constraint is relaxed to the best-isolated viable point.
+    """
+    if not points:
+        raise ConfigError("no design points to choose from")
+    viable = [p for p in points if p.viable]
+    if not viable:
+        raise ConfigError("no viable design point (signed weights unrealizable)")
+    ok = [p for p in viable if p.worst_leakage_db <= max_leakage_db]
+    if ok:
+        return max(ok, key=lambda p: p.d_sym)
+    return min(viable, key=lambda p: p.worst_leakage_db)

@@ -1,0 +1,25 @@
+"""In-situ training on the Trident hardware.
+
+- :mod:`repro.training.insitu` — functional photonic backpropagation using
+  the PE's three Table II operating modes (forward, gradient vector, outer
+  product) with LDSU-stored activation derivatives.
+- :mod:`repro.training.trainer` — epoch loop, metrics, and the
+  offline-vs-in-situ mismatch experiment.
+- :mod:`repro.training.latency` — the analytical training-time model behind
+  Table V (time to train 50 000 images).
+"""
+
+from repro.training.dfa import DFATrainer, DigitalDFA
+from repro.training.insitu import InSituTrainer
+from repro.training.latency import TrainingCostModel, TrainingPassCosts
+from repro.training.trainer import TrainingHistory, train_classifier
+
+__all__ = [
+    "DFATrainer",
+    "DigitalDFA",
+    "InSituTrainer",
+    "TrainingCostModel",
+    "TrainingHistory",
+    "TrainingPassCosts",
+    "train_classifier",
+]

@@ -1,0 +1,170 @@
+"""Functional in-situ backpropagation on the Trident accelerator.
+
+Implements the paper's training flow (Sec. III-A-2, Table II) against the
+*functional* photonic model — real numbers through quantized, noisy banks:
+
+1. **Forward** (per sample): each layer's PE computes y = f(W x); its LDSU
+   latches the one-bit derivative f'(h).
+2. **Gradient vector**: the control unit reprograms PE k's bank with
+   W_{k+1}^T; the error delta_{k+1} streams through; the LDSU-programmed
+   TIA gains apply the Hadamard with f'(h_k) — Eq. (3).
+3. **Outer product**: delta_k and y_{k-1} stream through a bank programmed
+   column-constant with y_{k-1}, yielding dW_k — Eq. (2).
+4. **Update**: the control unit applies W -= lr * dW and reprograms the
+   GST levels — Eq. (1).  Weights therefore live *on the hardware grid*:
+   every update is re-quantized to 255 levels, exactly the constraint the
+   paper's 8-bit-training argument is about.
+
+Because the trained weights are the physically realized (quantized + noisy)
+ones, there is no train/deploy mismatch — the property the paper contrasts
+with offline-trained photonic accelerators (Sec. I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.accelerator import TridentAccelerator
+from repro.arch.control import OperatingMode, RangeNormalizer
+from repro.errors import MappingError, ShapeError
+from repro.nn.reference import cross_entropy_loss
+
+_GRAD_EPS = 1e-12
+
+
+class InSituTrainer:
+    """SGD trainer whose every linear-algebra step runs on the photonic PEs."""
+
+    def __init__(self, accelerator: TridentAccelerator, lr: float = 0.05) -> None:
+        if lr <= 0:
+            raise MappingError(f"learning rate must be positive, got {lr}")
+        for layer in accelerator.layers:
+            if len(layer.tiles) != 1:
+                raise MappingError(
+                    "in-situ training requires each layer to fit one PE "
+                    f"(layer {layer.index} uses {len(layer.tiles)} tiles); "
+                    "use a larger bank or a smaller network"
+                )
+        if not accelerator.layers:
+            raise MappingError("map and program a network before training")
+        self.acc = accelerator
+        self.lr = lr
+
+    # ------------------------------------------------------------------
+    def _pe_for(self, layer_index: int):
+        return self.acc.pes[self.acc.layers[layer_index].tiles[0][4]]
+
+    def _gradient_vector(self, layer_index: int, delta_next: np.ndarray) -> np.ndarray:
+        """delta_k for layer ``layer_index`` given delta_{k+1} (Eq. 3).
+
+        Runs on PE k: bank <- W_{k+1}^T, inputs <- delta_{k+1}, TIA gains <-
+        the LDSU bits PE k captured during the forward pass.
+        """
+        layers = self.acc.layers
+        w_next = layers[layer_index + 1].weights
+        pe = self._pe_for(layer_index)
+
+        w_norm = RangeNormalizer.normalize(w_next.T.ravel())
+        pe.program_weights(w_next.T / w_norm.scale)
+        self.acc.counters.bank_writes += 1
+        self.acc.counters.cells_written += w_next.size
+        if self.acc.control.set_mode(OperatingMode.GRADIENT_VECTOR):
+            self.acc.counters.mode_switches += 1
+
+        d_norm = RangeNormalizer.normalize(delta_next)
+        out = pe.gradient_vector(d_norm.values)
+        self.acc.counters.symbols += 1
+        return out * w_norm.scale * d_norm.scale
+
+    def _outer_product(self, layer_index: int, delta: np.ndarray, y_prev: np.ndarray) -> np.ndarray:
+        """dW_k = delta_k (x) y_{k-1} on PE k's bank (Eq. 2)."""
+        pe = self._pe_for(layer_index)
+        if self.acc.control.set_mode(OperatingMode.OUTER_PRODUCT):
+            self.acc.counters.mode_switches += 1
+        d_norm = RangeNormalizer.normalize(delta)
+        y_norm = RangeNormalizer.normalize(y_prev)
+        grad = pe.outer_product(d_norm.values, y_norm.values)
+        self.acc.counters.bank_writes += 1
+        self.acc.counters.cells_written += y_prev.size * delta.size
+        self.acc.counters.symbols += delta.size
+        return grad * d_norm.scale * y_norm.scale
+
+    # ------------------------------------------------------------------
+    def backward_sample(self, grad_logits: np.ndarray) -> list[np.ndarray]:
+        """Run the photonic backward pass for the last forwarded sample.
+
+        ``grad_logits`` is dL/dh for the final layer.  Returns per-layer
+        weight gradients.  Must follow a ``forward(..., record=True)``.
+        """
+        layers = self.acc.layers
+        if layers[-1].last_input is None:
+            raise MappingError("run a recorded forward pass before backward")
+        grads: list[np.ndarray] = [np.zeros(0)] * len(layers)
+        delta = np.asarray(grad_logits, dtype=np.float64)
+        if delta.shape != (layers[-1].out_dim,):
+            raise ShapeError(
+                f"grad_logits shape {delta.shape} != ({layers[-1].out_dim},)"
+            )
+        for k in reversed(range(len(layers))):
+            grads[k] = self._outer_product(k, delta, layers[k].last_input)
+            if k > 0:
+                delta = self._gradient_vector(k - 1, delta)
+                if np.max(np.abs(delta)) < _GRAD_EPS:
+                    # Dead path: remaining upstream gradients are zero.
+                    for j in range(k):
+                        layer = layers[j]
+                        grads[j] = np.zeros((layer.out_dim, layer.in_dim))
+                    break
+        return grads
+
+    # ------------------------------------------------------------------
+    def train_step(self, x_batch: np.ndarray, labels: np.ndarray) -> float:
+        """One SGD step on a minibatch (softmax cross-entropy).
+
+        Forward and backward run per sample (the hardware is a streaming
+        engine); gradients accumulate digitally in the control unit and one
+        update + reprogram happens per batch.
+        """
+        x_batch = np.atleast_2d(np.asarray(x_batch, dtype=np.float64))
+        labels = np.atleast_1d(np.asarray(labels))
+        if x_batch.shape[0] != labels.shape[0]:
+            raise ShapeError("batch and labels must have matching lengths")
+        layers = self.acc.layers
+        accum = [np.zeros((l.out_dim, l.in_dim)) for l in layers]
+        total_loss = 0.0
+        for i, (x, label) in enumerate(zip(x_batch, labels)):
+            if i > 0:
+                # The previous sample's backward pass left W^T / outer-
+                # product operands in the banks; the control unit restores
+                # the forward weights (a real retuning cost — counted).
+                self.acc.set_weights([layer.weights for layer in layers])
+            logits = self.acc.forward(x, record=True)
+            loss, grad = cross_entropy_loss(logits[None, :], np.array([label]))
+            total_loss += loss
+            grads = self.backward_sample(grad[0])
+            for a, g in zip(accum, grads):
+                a += g
+        batch = x_batch.shape[0]
+        new_weights = [
+            layer.weights - self.lr * a / batch for layer, a in zip(layers, accum)
+        ]
+        # One reprogram per layer per batch: weights re-enter the GST grid.
+        self.acc.set_weights(new_weights)
+        if self.acc.control.set_mode(OperatingMode.INFERENCE):
+            self.acc.counters.mode_switches += 1
+        return total_loss / batch
+
+    # ------------------------------------------------------------------
+    def predict(self, x_batch: np.ndarray) -> np.ndarray:
+        """Argmax classes from hardware forward passes."""
+        logits = self.acc.forward_batch(np.atleast_2d(x_batch))
+        return np.argmax(logits, axis=-1)
+
+    def accuracy(self, x_batch: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy measured on the hardware."""
+        return float(np.mean(self.predict(x_batch) == np.asarray(labels)))
+
+    @property
+    def weights(self) -> list[np.ndarray]:
+        """The control unit's digital shadow of the programmed weights."""
+        return [layer.weights.copy() for layer in self.acc.layers]

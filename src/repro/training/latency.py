@@ -1,0 +1,184 @@
+"""Analytical training-time model — regenerates Table V.
+
+One backprop step on Trident is three GEMM passes plus a weight update, all
+expressible on the same weight-stationary hardware (paper Table II):
+
+- **forward**      (M x K) @ (K x N*B)   — inference at training batch B
+- **gradient**     (K x M) @ (M x N*B)   — banks hold W^T (Eq. 3)
+- **weight grad**  (M x N*B) @ (N*B x K) — the outer-product mode (Eq. 2);
+  the reduction now runs over batch x positions, so banks are reprogrammed
+  every 16 reduction elements — this pass is where Trident's retuning
+  overhead lives, and why models with many small layers (GoogleNet) train
+  relatively worse than Xavier while large-tile models (VGG-16) train much
+  better: exactly Table V's sign pattern.
+- **update**       every weight cell rewritten once per batch (Eq. 1).
+
+The NVIDIA AGX Xavier comparison uses the paper's own method: "We use the
+throughput during inference of these models to estimate throughput during
+training" — a fixed forward : training op expansion over the roofline
+inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cache import CacheModel
+from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+from repro.dataflow.tiling import TileSchedule
+from repro.errors import ConfigError, ScheduleError
+from repro.nn.graph import INPUT, Network
+from repro.nn.layers import GEMMShape
+
+
+@dataclass(frozen=True)
+class TrainingPassCosts:
+    """Per-sample time [s] and energy [J] of each training pass."""
+
+    model: str
+    accelerator: str
+    forward_time_s: float
+    gradient_time_s: float
+    outer_time_s: float
+    update_time_s: float
+    forward_energy_j: float
+    gradient_energy_j: float
+    outer_energy_j: float
+    update_energy_j: float
+
+    @property
+    def time_s(self) -> float:
+        """Per-sample training step time [s]."""
+        return (
+            self.forward_time_s
+            + self.gradient_time_s
+            + self.outer_time_s
+            + self.update_time_s
+        )
+
+    @property
+    def energy_j(self) -> float:
+        """Per-sample training step energy [J]."""
+        return (
+            self.forward_energy_j
+            + self.gradient_energy_j
+            + self.outer_energy_j
+            + self.update_energy_j
+        )
+
+    @property
+    def expansion_over_inference(self) -> float:
+        """Training-step : forward-pass time ratio."""
+        if self.forward_time_s <= 0:
+            raise ScheduleError("non-positive forward time")
+        return self.time_s / self.forward_time_s
+
+
+class TrainingCostModel:
+    """Trident training-latency/energy analysis."""
+
+    def __init__(
+        self,
+        arch: PhotonicArch | None = None,
+        cache: CacheModel | None = None,
+        batch: int = 32,
+    ) -> None:
+        if batch < 1:
+            raise ConfigError(f"batch must be positive, got {batch}")
+        self.arch = arch or PhotonicArch.trident()
+        self.cache = cache or CacheModel()
+        self.batch = batch
+        # Forward/gradient passes amortize tuning over the batch; the
+        # outer-product pass has the batch folded into its reduction, so it
+        # is costed at batch 1 and divided by B.
+        self._cm_batched = PhotonicCostModel(self.arch, cache=self.cache, batch=batch)
+        self._cm_single = PhotonicCostModel(self.arch, cache=self.cache, batch=1)
+
+    # ------------------------------------------------------------------
+    def step_costs(self, network: Network) -> TrainingPassCosts:
+        """Per-sample cost of one SGD step over the network."""
+        stats = network.stats()
+        B = self.batch
+        fwd_t = fwd_e = grad_t = grad_e = outer_t = outer_e = upd_t = upd_e = 0.0
+        rows, cols = self.arch.bank_rows, self.arch.bank_cols
+        any_compute = False
+        for record in stats.layers:
+            gemm = record.gemm
+            if gemm is None:
+                continue
+            any_compute = True
+            src = network.inputs_of(record.name)[0]
+            in_shape = network.input_shape if src == INPUT else network.shape_of(src)
+
+            fwd_sched = TileSchedule(gemm, rows, cols)
+            fwd = self._cm_batched.layer_cost(record.name, fwd_sched, in_shape, record.fused_activation)
+            fwd_t += fwd.time_s
+            fwd_e += fwd.energy_j
+
+            grad_sched = TileSchedule(
+                GEMMShape(m=gemm.k, k=gemm.m, n=gemm.n, groups=gemm.groups), rows, cols
+            )
+            grad = self._cm_batched.layer_cost(
+                f"{record.name}.grad", grad_sched, record.output, False
+            )
+            grad_t += grad.time_s
+            grad_e += grad.energy_j
+
+            # The weight-gradient GEMM contracts over batch x positions;
+            # the bank can hold either operand (delta chunks or activation
+            # chunks), giving two tile orientations with different
+            # write/stream balances.  The control unit picks the faster —
+            # e.g. 1x1 convs with few input channels prefer streaming the
+            # wide output dimension.
+            outer = min(
+                (
+                    self._cm_single.layer_cost(
+                        f"{record.name}.outer", sched_o, record.output, False
+                    )
+                    for sched_o in (
+                        TileSchedule(
+                            GEMMShape(m=gemm.m, k=gemm.n * B, n=gemm.k,
+                                      groups=gemm.groups),
+                            rows, cols,
+                        ),
+                        TileSchedule(
+                            GEMMShape(m=gemm.k, k=gemm.n * B, n=gemm.m,
+                                      groups=gemm.groups),
+                            rows, cols,
+                        ),
+                    )
+                ),
+                key=lambda c: c.time_s,
+            )
+            outer_t += outer.time_s / B
+            outer_e += outer.energy_j / B
+
+            # Update: rewrite every weight cell once per batch.
+            upd_t += fwd_sched.rounds(self.arch.n_pes) * self.arch.write_time_s / B
+            upd_e += fwd_sched.cells * self.arch.write_energy_per_cell_j / B
+        if not any_compute:
+            raise ScheduleError(f"{network.name}: no compute layers to train")
+        return TrainingPassCosts(
+            model=network.name,
+            accelerator=self.arch.name,
+            forward_time_s=fwd_t,
+            gradient_time_s=grad_t,
+            outer_time_s=outer_t,
+            update_time_s=upd_t,
+            forward_energy_j=fwd_e,
+            gradient_energy_j=grad_e,
+            outer_energy_j=outer_e,
+            update_energy_j=upd_e,
+        )
+
+    def training_time_s(self, network: Network, n_samples: int = 50_000) -> float:
+        """Wall-clock to train ``n_samples`` images (Table V's metric)."""
+        if n_samples < 1:
+            raise ConfigError(f"n_samples must be positive, got {n_samples}")
+        return self.step_costs(network).time_s * n_samples
+
+    def training_energy_j(self, network: Network, n_samples: int = 50_000) -> float:
+        """Energy to train ``n_samples`` images [J]."""
+        if n_samples < 1:
+            raise ConfigError(f"n_samples must be positive, got {n_samples}")
+        return self.step_costs(network).energy_j * n_samples

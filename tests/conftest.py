@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import TridentConfig
+from repro.devices.noise import NoiseModel
+from repro.devices.pcm_mrr import build_calibration
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def config() -> TridentConfig:
+    return TridentConfig()
+
+
+@pytest.fixture
+def noisy() -> NoiseModel:
+    return NoiseModel.realistic(seed=7)
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """One shared device calibration (it is deterministic and immutable)."""
+    return build_calibration()

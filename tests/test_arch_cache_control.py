@@ -1,0 +1,161 @@
+"""Tests for the cache model and the control unit."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cache import CacheConfig, CacheModel
+from repro.arch.control import (
+    ControlUnit,
+    OperatingMode,
+    RangeNormalizer,
+    table2_mapping,
+)
+from repro.errors import ConfigError, DeviceError
+
+
+class TestCacheModel:
+    def test_level_selection(self):
+        cm = CacheModel()
+        assert cm.level_for(1024) == "l1"
+        assert cm.level_for(1024 * 1024) == "l2"
+        assert cm.level_for(64 * 1024 * 1024) == "dram"
+
+    def test_level_boundaries_inclusive(self):
+        cm = CacheModel()
+        assert cm.level_for(cm.config.l1_bytes) == "l1"
+        assert cm.level_for(cm.config.l1_bytes + 1) == "l2"
+        assert cm.level_for(cm.config.l2_bytes) == "l2"
+
+    def test_energy_ordering(self):
+        cm = CacheModel()
+        assert (
+            cm.energy_per_byte("l1")
+            < cm.energy_per_byte("l2")
+            < cm.energy_per_byte("dram")
+        )
+
+    def test_access_cost_scales_with_times(self):
+        cm = CacheModel()
+        once = cm.access(1000, times=1)
+        thrice = cm.access(1000, times=3)
+        assert thrice.energy_j == pytest.approx(3 * once.energy_j)
+
+    def test_only_dram_costs_transfer_time(self):
+        cm = CacheModel()
+        on_chip = cm.access(1024 * 1024, times=2)
+        assert on_chip.transfer_time_s == 0.0
+        off_chip = cm.access(64 * 1024 * 1024)
+        assert off_chip.transfer_time_s > 0
+        assert off_chip.dram_bytes == 64 * 1024 * 1024
+
+    def test_transfer_time_matches_bandwidth(self):
+        cm = CacheModel()
+        size = 256 * 1024 * 1024
+        cost = cm.access(size)
+        assert cost.transfer_time_s == pytest.approx(
+            size / cm.config.dram_bandwidth_bytes_per_s
+        )
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ConfigError):
+            CacheModel().energy_per_byte("l3")
+
+    def test_rejects_negative_inputs(self):
+        cm = CacheModel()
+        with pytest.raises(ConfigError):
+            cm.level_for(-1)
+        with pytest.raises(ConfigError):
+            cm.access(10, times=-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(l1_bytes=0)
+        with pytest.raises(ConfigError):
+            CacheConfig(dram_energy_per_byte_j=-1.0)
+
+    def test_paper_capacities(self):
+        cfg = CacheConfig()
+        assert cfg.l1_bytes == 16 * 1024
+        assert cfg.l2_bytes == 32 * 1024 * 1024
+
+
+class TestTable2Mapping:
+    def test_three_modes(self):
+        mapping = table2_mapping()
+        assert set(mapping) == set(OperatingMode)
+
+    def test_inference_encoding(self):
+        enc = table2_mapping()[OperatingMode.INFERENCE]
+        assert enc["mrr_weight_bank"] == "W_k"
+        assert enc["input_laser_sources"] == "x_k"
+
+    def test_gradient_encoding_uses_transpose_and_derivative(self):
+        enc = table2_mapping()[OperatingMode.GRADIENT_VECTOR]
+        assert "W_{k+1}^T" in enc["mrr_weight_bank"]
+        assert "f'(h_k)" in enc["tia_eo_lasers"]
+
+    def test_outer_product_encoding(self):
+        enc = table2_mapping()[OperatingMode.OUTER_PRODUCT]
+        assert "y_{k-1}^T" in enc["mrr_weight_bank"]
+        assert "delta_h_k" in enc["input_laser_sources"]
+
+
+class TestControlUnit:
+    def test_starts_in_inference(self):
+        assert ControlUnit().mode is OperatingMode.INFERENCE
+
+    def test_mode_switch_counted(self):
+        cu = ControlUnit()
+        assert cu.set_mode(OperatingMode.GRADIENT_VECTOR)
+        assert cu.mode_switches == 1
+
+    def test_no_op_switch_not_counted(self):
+        cu = ControlUnit()
+        assert not cu.set_mode(OperatingMode.INFERENCE)
+        assert cu.mode_switches == 0
+
+    def test_rejects_non_mode(self):
+        with pytest.raises(DeviceError):
+            ControlUnit().set_mode("inference")
+
+    def test_encoding_for_current_mode(self):
+        cu = ControlUnit()
+        cu.set_mode(OperatingMode.OUTER_PRODUCT)
+        assert cu.encoding_for()["mrr_weight_bank"] == "y_{k-1}^T"
+
+
+class TestRangeNormalizer:
+    def test_in_range_untouched(self):
+        v = np.array([0.5, -0.25])
+        norm = RangeNormalizer.normalize(v)
+        assert norm.scale == 1.0
+        assert np.array_equal(norm.values, v)
+
+    def test_overrange_scaled_to_unit(self):
+        v = np.array([4.0, -2.0])
+        norm = RangeNormalizer.normalize(v)
+        assert norm.scale == 4.0
+        assert np.max(np.abs(norm.values)) == pytest.approx(1.0)
+
+    def test_restore_inverts(self):
+        v = np.array([3.0, -1.5, 0.75])
+        norm = RangeNormalizer.normalize(v)
+        assert np.allclose(norm.restore(norm.values), v)
+
+    def test_restore_is_linear(self):
+        norm = RangeNormalizer.normalize(np.array([2.0]))
+        assert float(norm.restore(0.5)) == pytest.approx(1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(DeviceError):
+            RangeNormalizer.normalize(np.array([np.nan]))
+        with pytest.raises(DeviceError):
+            RangeNormalizer.normalize(np.array([np.inf]))
+
+    def test_empty_vector(self):
+        norm = RangeNormalizer.normalize(np.array([]))
+        assert norm.scale == 1.0
+
+    def test_clip(self):
+        out = RangeNormalizer.clip(np.array([-2.0, 0.5, 2.0]))
+        assert np.array_equal(out, [-1.0, 0.5, 1.0])

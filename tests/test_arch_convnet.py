@@ -1,0 +1,201 @@
+"""Tests for the functional convolutional path."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import TridentConfig
+from repro.arch.convnet import FunctionalConvNet
+from repro.devices.noise import NoiseModel
+from repro.errors import MappingError, ShapeError
+from repro.nn.datasets import make_shapes
+from repro.nn.reference import conv2d_reference, gst_activation
+
+
+@pytest.fixture
+def small_net():
+    return FunctionalConvNet(
+        (8, 8, 1),
+        [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",), ("dense", 3)],
+    )
+
+
+@pytest.fixture
+def programmed(small_net, rng):
+    wconv = rng.uniform(-1, 1, (4, 3, 3, 1))
+    wdense = rng.uniform(-1, 1, (3, 64))
+    small_net.set_weights([wconv, wdense])
+    return small_net, wconv, wdense
+
+
+def digital_forward(image, wconv, wdense):
+    c = gst_activation(conv2d_reference(image, wconv, 1, 1))
+    h, w, ch = c.shape
+    p = c.reshape(h // 2, 2, w // 2, 2, ch).max(axis=(1, 3))
+    return wdense @ p.ravel()
+
+
+class TestSpecValidation:
+    def test_empty_spec_rejected(self):
+        with pytest.raises(MappingError):
+            FunctionalConvNet((8, 8, 1), [])
+
+    def test_dense_requires_flatten(self):
+        with pytest.raises(MappingError):
+            FunctionalConvNet((8, 8, 1), [("dense", 3)])
+
+    def test_conv_after_flatten_rejected(self):
+        with pytest.raises(MappingError):
+            FunctionalConvNet((8, 8, 1), [("flatten",), ("conv", 4, 3, 1, 1)])
+
+    def test_pool_divisibility_enforced(self):
+        with pytest.raises(MappingError):
+            FunctionalConvNet((8, 8, 1), [("pool", 3)])
+
+    def test_unknown_layer_kind(self):
+        with pytest.raises(MappingError):
+            FunctionalConvNet((8, 8, 1), [("softmax",)])
+
+    def test_output_shape_tracked(self, small_net):
+        assert small_net.output_shape == (1, 1, 3)
+
+
+class TestWeights:
+    def test_weight_count_checked(self, small_net, rng):
+        with pytest.raises(MappingError):
+            small_net.set_weights([rng.uniform(-1, 1, (4, 3, 3, 1))])
+
+    def test_conv_weight_shape_checked(self, small_net, rng):
+        with pytest.raises(ShapeError):
+            small_net.set_weights(
+                [rng.uniform(-1, 1, (5, 3, 3, 1)), rng.uniform(-1, 1, (3, 64))]
+            )
+
+    def test_dense_weight_shape_checked(self, small_net, rng):
+        with pytest.raises(ShapeError):
+            small_net.set_weights(
+                [rng.uniform(-1, 1, (4, 3, 3, 1)), rng.uniform(-1, 1, (4, 64))]
+            )
+
+    def test_pe_budget_enforced(self, rng):
+        net = FunctionalConvNet(
+            (8, 8, 1),
+            [("conv", 4, 3, 1, 1), ("flatten",), ("dense", 3)],
+            config=TridentConfig(n_pes=1),
+        )
+        with pytest.raises(MappingError):
+            net.set_weights(
+                [rng.uniform(-1, 1, (4, 3, 3, 1)), rng.uniform(-1, 1, (3, 256))]
+            )
+
+
+class TestForward:
+    def test_matches_digital_reference(self, programmed, rng):
+        net, wconv, wdense = programmed
+        image = rng.uniform(0, 1, (8, 8, 1))
+        got = net.forward(image)
+        want = digital_forward(image, wconv, wdense)
+        assert np.max(np.abs(got - want)) < 0.05
+
+    def test_requires_programming(self, small_net):
+        with pytest.raises(MappingError):
+            small_net.forward(np.zeros((8, 8, 1)))
+
+    def test_image_shape_checked(self, programmed):
+        net, _, _ = programmed
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((9, 8, 1)))
+
+    def test_forward_batch(self, programmed):
+        net, _, _ = programmed
+        x, _ = make_shapes(5, seed=0)
+        out = net.forward_batch(x)
+        assert out.shape == (5, 3)
+
+    def test_forward_batch_rank_checked(self, programmed):
+        net, _, _ = programmed
+        with pytest.raises(ShapeError):
+            net.forward_batch(np.zeros((8, 8, 1)))
+
+    def test_symbols_counted(self, programmed):
+        net, _, _ = programmed
+        before = net.symbols
+        net.forward(np.zeros((8, 8, 1)))
+        # conv: 64 positions x 1 tile; dense: 1 position x 4 tiles.
+        assert net.symbols - before == 64 + 4
+
+    def test_noisy_forward_close(self, rng):
+        net = FunctionalConvNet(
+            (8, 8, 1),
+            [("conv", 4, 3, 1, 1), ("pool", 2), ("flatten",), ("dense", 3)],
+            noise=NoiseModel.realistic(seed=5),
+        )
+        wconv = rng.uniform(-1, 1, (4, 3, 3, 1))
+        wdense = rng.uniform(-1, 1, (3, 64))
+        net.set_weights([wconv, wdense])
+        image = rng.uniform(0, 1, (8, 8, 1))
+        got = net.forward(image)
+        want = digital_forward(image, wconv, wdense)
+        assert np.max(np.abs(got - want)) < 0.5
+
+
+class TestMultiLayerConv:
+    def test_two_conv_stages(self, rng):
+        net = FunctionalConvNet(
+            (8, 8, 1),
+            [
+                ("conv", 4, 3, 1, 1),
+                ("pool", 2),
+                ("conv", 6, 3, 1, 1),
+                ("pool", 2),
+                ("flatten",),
+                ("dense", 3),
+            ],
+        )
+        net.set_weights(
+            [
+                rng.uniform(-1, 1, (4, 3, 3, 1)),
+                rng.uniform(-1, 1, (6, 3, 3, 4)),
+                rng.uniform(-1, 1, (3, 24)),
+            ]
+        )
+        out = net.forward(rng.uniform(0, 1, (8, 8, 1)))
+        assert out.shape == (3,)
+        assert np.all(np.isfinite(out))
+
+    def test_stats_merged(self, programmed):
+        net, _, _ = programmed
+        net.forward(np.zeros((8, 8, 1)))
+        stats = net.bank_stats()
+        assert stats.write_events == 5  # 1 conv tile + 4 dense tiles
+        assert stats.symbols == net.symbols
+
+
+class TestShapesDataset:
+    def test_shapes_and_ranges(self):
+        x, y = make_shapes(30, size=8, seed=1)
+        assert x.shape == (30, 8, 8, 1)
+        assert np.all(x >= 0) and np.all(x <= 1)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_shapes(10, seed=3)
+        b = make_shapes(10, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_classes_distinguishable(self):
+        """Row/column variance separates stripes from checkerboards."""
+        x, y = make_shapes(120, noise=0.05, seed=2)
+        col_var = x[..., 0].mean(axis=1).var(axis=1)  # variance across columns
+        row_var = x[..., 0].mean(axis=2).var(axis=1)
+        vertical = col_var > row_var + 0.01
+        horizontal = row_var > col_var + 0.01
+        assert np.mean(vertical[y == 0]) > 0.9
+        assert np.mean(horizontal[y == 1]) > 0.9
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_shapes(2)
+        with pytest.raises(ConfigError):
+            make_shapes(10, size=2)

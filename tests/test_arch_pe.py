@@ -1,0 +1,148 @@
+"""Tests for the processing element's three operating modes."""
+
+import numpy as np
+import pytest
+
+from repro.arch.pe import ProcessingElement
+from repro.arch.weight_bank import WeightBank
+from repro.devices.ldsu import LDSU
+from repro.devices.noise import NoiseModel
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def pe():
+    return ProcessingElement()
+
+
+class TestConstruction:
+    def test_defaults(self, pe):
+        assert pe.rows == 16
+        assert pe.cols == 16
+        assert len(pe.tias) == 16
+        assert pe.ldsu.n_rows == 16
+
+    def test_ldsu_row_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            ProcessingElement(bank=WeightBank(rows=8), ldsu=LDSU(n_rows=16))
+
+    def test_tia_count_mismatch_rejected(self):
+        from repro.devices.tia import TransimpedanceAmplifier
+
+        with pytest.raises(ShapeError):
+            ProcessingElement(tias=[TransimpedanceAmplifier()])
+
+    def test_with_noise_factory(self):
+        pe = ProcessingElement.with_noise(NoiseModel.realistic(seed=0), rows=8, cols=8)
+        assert pe.rows == 8
+        assert pe.bank.noise.enabled
+        assert pe.bpd.noise.enabled
+
+
+class TestForward:
+    def test_matches_digital_gst_network(self, pe, rng):
+        w = rng.uniform(-1, 1, (16, 16))
+        x = rng.uniform(-1, 1, 16)
+        pe.program_weights(w)
+        out = pe.forward(x)
+        expected = 0.34 * np.maximum(w @ x, 0)
+        assert np.max(np.abs(out - expected)) < 0.1
+
+    def test_no_activation_returns_logits(self, pe, rng):
+        w = rng.uniform(-1, 1, (8, 8))
+        x = rng.uniform(-1, 1, 8)
+        pe.program_weights(w)
+        logits = pe.forward(x, apply_activation=False)
+        assert np.max(np.abs(logits - w @ x)) < 0.05
+
+    def test_ldsu_captures_derivative_bits(self, pe, rng):
+        w = rng.uniform(-1, 1, (16, 16))
+        x = rng.uniform(-1, 1, 16)
+        pe.program_weights(w)
+        logits = pe.forward(x, apply_activation=False)
+        expected_bits = logits > 0
+        assert np.array_equal(pe.ldsu.bits, expected_bits)
+
+    def test_capture_can_be_disabled(self, pe, rng):
+        pe.program_weights(rng.uniform(-1, 1, (16, 16)))
+        pe.forward(rng.uniform(-1, 1, 16), capture_derivative=False)
+        assert not pe.ldsu.bits.any()
+
+    def test_activation_firing_counted(self, pe, rng):
+        pe.program_weights(rng.uniform(-1, 1, (16, 16)))
+        pe.forward(rng.uniform(-1, 1, 16))
+        assert pe.activation.firing_events > 0
+
+
+class TestGradientVector:
+    def test_hadamard_with_ldsu_gains(self, pe, rng):
+        n = 16
+        # Forward pass on W to latch f'(h).
+        w = rng.uniform(-1, 1, (n, n))
+        x = rng.uniform(-1, 1, n)
+        pe.program_weights(w)
+        h = pe.forward(x, apply_activation=False)
+        # Backward with W_next^T programmed.
+        w_next = rng.uniform(-1, 1, (n, n))
+        pe.program_weights(w_next.T)
+        delta = rng.uniform(-1, 1, n)
+        got = pe.gradient_vector(delta)
+        expected = (w_next.T @ delta) * np.where(h > 0, 0.34, 0.0)
+        assert np.max(np.abs(got - expected)) < 0.1
+
+    def test_dead_rows_zeroed(self, pe, rng):
+        n = 8
+        pe.program_weights(-np.ones((n, n)))  # all logits negative
+        pe.forward(np.ones(n) * 0.5, apply_activation=False)
+        pe.program_weights(rng.uniform(-1, 1, (n, n)))
+        out = pe.gradient_vector(rng.uniform(-1, 1, n))
+        assert np.allclose(out, 0.0)
+
+
+class TestOuterProduct:
+    def test_matches_numpy_outer(self, pe, rng):
+        d = rng.uniform(-1, 1, 10)
+        y = rng.uniform(-1, 1, 12)
+        got = pe.outer_product(d, y)
+        assert got.shape == (10, 12)
+        assert np.max(np.abs(got - np.outer(d, y))) < 0.05
+
+    def test_full_bank(self, pe, rng):
+        d = rng.uniform(-1, 1, 16)
+        y = rng.uniform(-1, 1, 16)
+        got = pe.outer_product(d, y)
+        assert np.max(np.abs(got - np.outer(d, y))) < 0.05
+
+    def test_rejects_oversize(self, pe, rng):
+        with pytest.raises(ShapeError):
+            pe.outer_product(rng.uniform(-1, 1, 17), rng.uniform(-1, 1, 4))
+        with pytest.raises(ShapeError):
+            pe.outer_product(rng.uniform(-1, 1, 4), rng.uniform(-1, 1, 17))
+
+    def test_rejects_matrices(self, pe):
+        with pytest.raises(ShapeError):
+            pe.outer_product(np.zeros((2, 2)), np.zeros(2))
+
+    def test_costs_one_write_and_len_delta_symbols(self, pe, rng):
+        d = rng.uniform(-1, 1, 6)
+        y = rng.uniform(-1, 1, 4)
+        pe.outer_product(d, y)
+        assert pe.bank.stats.write_events == 1
+        assert pe.bank.stats.symbols == 6
+
+
+class TestTIAGains:
+    def test_set_and_reset(self, pe):
+        gains = np.linspace(0, 1, 16)
+        pe.set_tia_gains(gains)
+        assert np.allclose([t.gain for t in pe.tias], gains)
+        pe.reset_tia_gains()
+        assert all(t.gain == 1.0 for t in pe.tias)
+
+    def test_rejects_wrong_length(self, pe):
+        with pytest.raises(ShapeError):
+            pe.set_tia_gains(np.ones(4))
+
+    def test_write_energy_property(self, pe, rng):
+        pe.program_weights(rng.uniform(-1, 1, (16, 16)))
+        assert pe.write_energy_j == pytest.approx(256 * 660e-12)

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def run(capsys):
+    def _run(*argv):
+        code = main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    return _run
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_fig_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "1"])
+
+
+class TestTables:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_tables_render(self, run, n):
+        code, out = run("table", str(n))
+        assert code == 0
+        assert "Table" in out
+
+    def test_table3_contains_tuning_row(self, run):
+        _, out = run("table", "3")
+        assert "GST MRR Tuning" in out
+        assert "83.3" in out
+
+
+class TestFigs:
+    def test_fig3_curve(self, run):
+        code, out = run("fig", "3")
+        assert code == 0
+        assert "430" in out or "activation" in out.lower()
+
+    def test_fig5_area(self, run):
+        code, out = run("fig", "5")
+        assert code == 0
+        assert "TIA" in out
+
+    def test_fig4_energy_series(self, run):
+        code, out = run("fig", "4")
+        assert code == 0
+        for name in ("trident", "deap-cnn", "crosslight", "pixel"):
+            assert name in out
+
+
+class TestOtherCommands:
+    def test_models(self, run):
+        code, out = run("models")
+        assert code == 0
+        for name in ("alexnet", "vgg16", "googlenet", "resnet50", "mobilenet_v2"):
+            assert name in out
+
+    def test_compare(self, run):
+        code, out = run("compare", "mobilenet_v2", "--budget", "30", "--batch", "32")
+        assert code == 0
+        assert "trident" in out
+        assert "agx-xavier" in out
+
+    def test_train_plan(self, run):
+        code, out = run("train-plan", "googlenet", "--samples", "1000")
+        assert code == 0
+        assert "outer product" in out
+        assert "trident" in out
+
+    def test_link_budget(self, run):
+        code, out = run("link-budget", "--rows", "8", "--cols", "8")
+        assert code == 0
+        assert "SNR" in out
+
+    def test_endurance(self, run):
+        code, out = run("endurance", "googlenet")
+        assert code == 0
+        assert "activation" in out
+
+
+class TestReport:
+    def test_report_summarizes_everything(self, run):
+        code, out = run("report")
+        assert code == 0
+        assert "34 comparisons" in out
+        assert "DEVIATION" in out  # documented rows flagged
+
+
+class TestSummaryModule:
+    def test_collect_and_gate(self):
+        from repro.eval.summary import ReproductionSummary
+
+        summary = ReproductionSummary.collect()
+        assert len(summary.results) == 34
+        # The documented deviations are excluded from the gate.
+        assert len(summary.deviations()) == 2
+        assert summary.max_gated_error() < 0.16
+        # And the gate would fail if they were included.
+        worst_all = max(r.within for r in summary.results)
+        assert worst_all > summary.max_gated_error()
+
+
+class TestLayers:
+    def test_layers_command(self, run):
+        code, out = run("layers", "alexnet", "--top", "4")
+        assert code == 0
+        assert "TOTAL" in out
+        assert "alexnet on trident" in out
+
+    def test_layers_baseline(self, run):
+        code, out = run("layers", "googlenet", "--arch", "deap-cnn", "--top", "3")
+        assert code == 0
+        assert "deap-cnn" in out
+
+
+class TestAllCommand:
+    def test_all_regenerates_everything(self, run):
+        code, out = run("all")
+        assert code == 0
+        for marker in ("Table I", "Table III", "Table IV", "Table V",
+                       "Fig 3", "Fig 4", "Fig 5", "Fig 6"):
+            assert marker in out, marker
+
+
+class TestExport:
+    def test_export_writes_all_csvs(self, run, tmp_path):
+        code, out = run("export", "--dir", str(tmp_path))
+        assert code == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "table1_tuning.csv", "table2_mapping.csv", "table3_power.csv",
+            "table4_tops.csv", "table5_training.csv",
+            "fig3_activation.csv", "fig4_energy_j.csv", "fig5_area.csv",
+            "fig6_inferences_per_second.csv", "paper_vs_measured.csv",
+        }
+
+    def test_csv_contents_parse(self, tmp_path):
+        import csv
+
+        from repro.eval.export import export_all
+
+        export_all(tmp_path)
+        with (tmp_path / "fig6_inferences_per_second.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "model"
+        assert len(rows) == 6  # header + 5 models
+        # Every numeric field parses.
+        for row in rows[1:]:
+            for cell in row[1:]:
+                float(cell)
+
+    def test_export_rejects_file_target(self, tmp_path):
+        from repro.errors import ConfigError
+        from repro.eval.export import export_all
+
+        target = tmp_path / "occupied"
+        target.write_text("not a dir")
+        with pytest.raises(ConfigError):
+            export_all(target)

@@ -1,0 +1,70 @@
+"""Unit-conversion and constant sanity tests."""
+
+import math
+
+import pytest
+
+from repro import constants as c
+
+
+def test_wavelength_frequency_roundtrip():
+    lam = 1550e-9
+    assert c.frequency_to_wavelength(c.wavelength_to_frequency(lam)) == pytest.approx(lam)
+
+
+def test_c_band_frequency_is_about_193_thz():
+    assert c.wavelength_to_frequency(c.C_BAND_CENTER) == pytest.approx(193.4e12, rel=1e-3)
+
+
+def test_wavelength_to_frequency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        c.wavelength_to_frequency(0.0)
+    with pytest.raises(ValueError):
+        c.wavelength_to_frequency(-1.0)
+
+
+def test_frequency_to_wavelength_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        c.frequency_to_wavelength(0.0)
+
+
+def test_db_roundtrip():
+    assert c.db_to_linear(c.linear_to_db(0.5)) == pytest.approx(0.5)
+
+
+def test_db_known_values():
+    assert c.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+    assert c.linear_to_db(10.0) == pytest.approx(10.0)
+
+
+def test_linear_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        c.linear_to_db(0.0)
+
+
+def test_dbm_conversions():
+    assert c.dbm_to_watts(0.0) == pytest.approx(1e-3)
+    assert c.watts_to_dbm(1e-3) == pytest.approx(0.0)
+    assert c.watts_to_dbm(c.dbm_to_watts(7.3)) == pytest.approx(7.3)
+
+
+def test_watts_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        c.watts_to_dbm(0.0)
+
+
+def test_unit_multipliers():
+    assert c.NM == 1e-9
+    assert 1.6 * c.NM == pytest.approx(c.MIN_WDM_SPACING)
+    assert c.KB == 1024
+    assert c.MB == 1024 * 1024
+
+
+def test_activation_wavelength_matches_paper_fig3():
+    assert c.ACTIVATION_WAVELENGTH == pytest.approx(1553.4e-9)
+
+
+def test_fundamental_constants():
+    assert c.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+    assert c.ELEMENTARY_CHARGE == pytest.approx(1.602e-19, rel=1e-3)
+    assert c.BOLTZMANN == pytest.approx(1.381e-23, rel=1e-3)

@@ -1,0 +1,90 @@
+"""Tests for the weight-stationary tile scheduler."""
+
+import pytest
+
+from repro.dataflow.tiling import TileSchedule
+from repro.errors import ScheduleError
+from repro.nn.layers import GEMMShape
+
+
+def sched(m, k, n, groups=1, rows=16, cols=16):
+    return TileSchedule(GEMMShape(m=m, k=k, n=n, groups=groups), rows, cols)
+
+
+class TestTileCounts:
+    def test_exact_fit(self):
+        s = sched(16, 16, 100)
+        assert s.tiles_m == 1
+        assert s.tiles_k == 1
+        assert s.n_tiles == 1
+
+    def test_ceiling_division(self):
+        s = sched(17, 33, 10)
+        assert s.tiles_m == 2
+        assert s.tiles_k == 3
+        assert s.n_tiles == 6
+
+    def test_groups_multiply(self):
+        s = sched(1, 9, 100, groups=32)
+        assert s.tiles_per_group == 1
+        assert s.n_tiles == 32
+
+    def test_vgg_conv3_3(self):
+        # M=256, K=2304 -> 16 x 144 = 2304 tiles.
+        s = sched(256, 2304, 3136)
+        assert s.n_tiles == 2304
+
+    def test_rejects_bad_bank(self):
+        with pytest.raises(ScheduleError):
+            TileSchedule(GEMMShape(m=4, k=4, n=4), 0, 16)
+
+
+class TestAccounting:
+    def test_cells_equal_weight_elements(self):
+        s = sched(17, 33, 10, groups=2)
+        assert s.cells == 17 * 33 * 2
+
+    def test_symbols(self):
+        s = sched(16, 16, 100)
+        assert s.symbols == 100
+        s2 = sched(32, 32, 100)
+        assert s2.symbols == 4 * 100
+
+    def test_output_elements(self):
+        s = sched(17, 33, 10, groups=3)
+        assert s.output_elements == 17 * 10 * 3
+
+    def test_partial_sums_zero_when_reduction_fits(self):
+        assert sched(32, 16, 10).partial_sum_elements == 0
+
+    def test_partial_sums_scale_with_extra_k_tiles(self):
+        s = sched(16, 48, 10)
+        assert s.tiles_k == 3
+        assert s.partial_sum_elements == 16 * 10 * 2
+
+    def test_mean_occupancy_full(self):
+        assert sched(32, 32, 5).mean_occupancy == 1.0
+
+    def test_mean_occupancy_edge_tiles(self):
+        s = sched(8, 8, 5)  # quarter of one bank
+        assert s.mean_occupancy == pytest.approx(0.25)
+
+    def test_depthwise_occupancy_terrible(self):
+        # The mechanism behind MobileNetV2's poor photonic efficiency.
+        s = sched(1, 9, 100, groups=64)
+        assert s.mean_occupancy == pytest.approx(9 / 256)
+
+
+class TestRounds:
+    def test_rounds_ceiling(self):
+        s = sched(256, 2304, 3136)  # 2304 tiles
+        assert s.rounds(44) == 53
+        assert s.rounds(2304) == 1
+        assert s.rounds(1) == 2304
+
+    def test_rejects_bad_pe_count(self):
+        with pytest.raises(ScheduleError):
+            sched(4, 4, 4).rounds(0)
+
+    def test_positions(self):
+        assert sched(4, 4, 784).positions == 784

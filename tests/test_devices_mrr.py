@@ -1,0 +1,145 @@
+"""Tests for the microring resonator transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.constants import C_BAND_CENTER, NM
+from repro.devices.mrr import AddDropMRR, AllPassMRR, RingGeometry
+from repro.errors import DeviceError
+
+
+@pytest.fixture
+def geometry():
+    return RingGeometry()
+
+
+@pytest.fixture
+def ring():
+    return AddDropMRR()
+
+
+class TestRingGeometry:
+    def test_circumference(self, geometry):
+        assert geometry.circumference_m == pytest.approx(2 * np.pi * geometry.radius_m)
+
+    def test_fsr_formula(self, geometry):
+        fsr = geometry.free_spectral_range()
+        expected = C_BAND_CENTER**2 / (geometry.group_index * geometry.circumference_m)
+        assert fsr == pytest.approx(expected)
+
+    def test_fsr_scale_is_tens_of_nm_for_5um_ring(self, geometry):
+        assert 5 * NM < geometry.free_spectral_range() < 50 * NM
+
+    def test_nearest_resonance_satisfies_condition(self, geometry):
+        lam = geometry.nearest_resonance()
+        m = geometry.effective_index * geometry.circumference_m / lam
+        assert m == pytest.approx(round(m))
+
+    def test_nearest_resonance_close_to_target(self, geometry):
+        lam = geometry.nearest_resonance(C_BAND_CENTER)
+        assert abs(lam - C_BAND_CENTER) < geometry.free_spectral_range()
+
+    def test_round_trip_phase_vectorized(self, geometry):
+        lams = np.linspace(1.5e-6, 1.6e-6, 7)
+        phases = geometry.round_trip_phase(lams)
+        assert phases.shape == lams.shape
+        assert np.all(np.diff(phases) < 0)  # phase decreases with wavelength
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DeviceError):
+            RingGeometry(radius_m=0.0)
+        with pytest.raises(DeviceError):
+            RingGeometry(effective_index=-1.0)
+
+    def test_rejects_bad_wavelength(self, geometry):
+        with pytest.raises(DeviceError):
+            geometry.round_trip_phase(0.0)
+
+
+class TestAllPassMRR:
+    def test_transmission_bounded(self):
+        ring = AllPassMRR()
+        lams = np.linspace(1.54e-6, 1.56e-6, 2001)
+        t = ring.through(lams)
+        assert np.all(t >= 0)
+        assert np.all(t <= 1 + 1e-12)
+
+    def test_dip_at_resonance(self):
+        ring = AllPassMRR()
+        res = ring.geometry.nearest_resonance()
+        off = res + 0.5 * ring.geometry.free_spectral_range()
+        assert ring.through(res) < ring.through(off)
+
+    def test_extinction_on_resonance_formula(self):
+        ring = AllPassMRR()
+        res = ring.geometry.nearest_resonance()
+        assert float(ring.through(res)) == pytest.approx(
+            ring.extinction_on_resonance, abs=1e-6
+        )
+
+    def test_rejects_bad_coupling(self):
+        with pytest.raises(DeviceError):
+            AllPassMRR(self_coupling=0.0)
+        with pytest.raises(DeviceError):
+            AllPassMRR(self_coupling=1.2)
+
+
+class TestAddDropMRR:
+    def test_ports_bounded(self, ring):
+        lams = np.linspace(1.54e-6, 1.56e-6, 2001)
+        assert np.all(ring.through(lams) >= 0)
+        assert np.all(ring.through(lams) <= 1 + 1e-12)
+        assert np.all(ring.drop(lams) >= 0)
+        assert np.all(ring.drop(lams) <= 1 + 1e-12)
+
+    def test_energy_conservation(self, ring):
+        """Through + drop never exceeds unity (passive device)."""
+        lams = np.linspace(1.53e-6, 1.57e-6, 4001)
+        total = ring.through(lams) + ring.drop(lams)
+        assert np.all(total <= 1 + 1e-9)
+
+    def test_lossless_symmetric_ring_conserves_energy_exactly(self):
+        ring = AddDropMRR(ring_loss=1.0, extra_loss=1.0)
+        lams = np.linspace(1.54e-6, 1.56e-6, 501)
+        total = ring.through(lams) + ring.drop(lams)
+        assert np.allclose(total, 1.0, atol=1e-12)
+
+    def test_drop_peaks_at_resonance(self, ring):
+        res = ring.geometry.nearest_resonance()
+        off = res + 0.5 * ring.geometry.free_spectral_range()
+        assert ring.drop(res) > ring.drop(off)
+        assert ring.through(res) < ring.through(off)
+
+    def test_on_resonance_formulas_match_sweep(self, ring):
+        res = ring.geometry.nearest_resonance()
+        assert float(ring.drop(res)) == pytest.approx(ring.drop_on_resonance(), abs=1e-6)
+        assert float(ring.through(res)) == pytest.approx(
+            ring.through_on_resonance(), abs=1e-6
+        )
+
+    def test_gst_loss_reduces_drop_and_raises_through(self, ring):
+        lossy = ring.with_extra_loss(0.7)
+        assert lossy.drop_on_resonance() < ring.drop_on_resonance()
+        assert lossy.through_on_resonance() > ring.through_on_resonance()
+
+    def test_differential_swings_negative_with_loss(self, ring):
+        assert ring.differential_on_resonance() > 0
+        assert ring.with_extra_loss(0.3).differential_on_resonance() < 0
+
+    def test_q_factor_realistic_for_silicon_rings(self, ring):
+        q = ring.q_factor()
+        assert 1e3 < q < 1e6
+
+    def test_fwhm_positive_and_subnanometer_scale(self, ring):
+        assert 0 < ring.fwhm() < 5 * NM
+
+    def test_with_extra_loss_preserves_geometry(self, ring):
+        other = ring.with_extra_loss(0.9)
+        assert other.geometry == ring.geometry
+        assert other.extra_loss == 0.9
+
+    def test_rejects_invalid_extra_loss(self, ring):
+        with pytest.raises(DeviceError):
+            ring.with_extra_loss(0.0)
+        with pytest.raises(DeviceError):
+            ring.with_extra_loss(1.0001)

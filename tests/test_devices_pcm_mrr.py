@@ -1,0 +1,123 @@
+"""Tests for the PCM-MRR weight cell and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.devices.gst import GSTMaterial
+from repro.devices.mrr import AddDropMRR
+from repro.devices.pcm_mrr import PCMMRRWeight, build_calibration
+from repro.errors import DeviceError, ProgrammingError
+
+
+class TestBuildCalibration:
+    def test_differential_strictly_decreasing(self, calibration):
+        assert np.all(np.diff(calibration.differentials) < 0)
+
+    def test_range_straddles_zero(self, calibration):
+        assert calibration.differentials[0] > 0
+        assert calibration.differentials[-1] < 0
+
+    def test_d_sym_is_symmetric_range(self, calibration):
+        assert calibration.d_sym == pytest.approx(
+            min(calibration.differentials[0], -calibration.differentials[-1])
+        )
+
+    def test_255_levels_by_default(self, calibration):
+        assert calibration.levels == 255
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(DeviceError):
+            build_calibration(grid_points=4)
+
+    def test_non_calibratable_geometry_rejected(self):
+        # A patch so long that even amorphous GST kills the drop port.
+        with pytest.raises(DeviceError):
+            build_calibration(patch_length_m=5e-6)
+
+
+class TestWeightMapping:
+    def test_weight_fraction_roundtrip(self, calibration):
+        w = np.linspace(-1, 1, 41)
+        c = calibration.weight_to_fraction(w)
+        back = calibration.fraction_to_weight(c)
+        assert np.allclose(back, w, atol=5e-3)
+
+    def test_fraction_monotone_decreasing_in_weight(self, calibration):
+        w = np.linspace(-1, 1, 101)
+        c = calibration.weight_to_fraction(w)
+        assert np.all(np.diff(c) < 0)
+
+    def test_zero_weight_maps_to_zero_differential(self, calibration):
+        assert float(calibration.weight_to_differential(0.0)) == pytest.approx(0.0)
+
+    def test_extreme_weights_hit_symmetric_range(self, calibration):
+        assert float(calibration.weight_to_differential(1.0)) == pytest.approx(
+            calibration.d_sym
+        )
+        assert float(calibration.weight_to_differential(-1.0)) == pytest.approx(
+            -calibration.d_sym
+        )
+
+    def test_rejects_overrange_weight(self, calibration):
+        with pytest.raises(ProgrammingError):
+            calibration.weight_to_differential(1.5)
+
+
+class TestLevelQuantization:
+    def test_endpoints(self, calibration):
+        assert calibration.weights_to_levels(-1.0) == 0
+        assert calibration.weights_to_levels(1.0) == calibration.levels - 1
+
+    def test_roundtrip_error_within_half_step(self, calibration):
+        w = np.linspace(-1, 1, 1001)
+        back = calibration.levels_to_weights(calibration.weights_to_levels(w))
+        assert np.max(np.abs(back - w)) <= calibration.weight_step / 2 + 1e-12
+
+    def test_weight_step_for_8_bit(self, calibration):
+        assert calibration.weight_step == pytest.approx(2 / 254)
+
+    def test_levels_are_integers(self, calibration):
+        levels = calibration.weights_to_levels(np.array([-0.5, 0.0, 0.5]))
+        assert levels.dtype == np.int64
+
+    def test_rejects_overrange(self, calibration):
+        with pytest.raises(ProgrammingError):
+            calibration.weights_to_levels(np.array([2.0]))
+
+
+class TestPCMMRRWeight:
+    def test_program_and_read_weight(self):
+        device = PCMMRRWeight()
+        for target in (-0.8, -0.25, 0.0, 0.4, 0.95):
+            device.program(target)
+            assert device.weight == pytest.approx(target, abs=2 * device.calibration.weight_step)
+
+    def test_apply_multiplies(self):
+        device = PCMMRRWeight()
+        device.program(0.5)
+        assert device.apply(0.6) == pytest.approx(0.3, abs=0.01)
+
+    def test_programming_costs_energy(self):
+        device = PCMMRRWeight()
+        device.program(0.3)
+        device.program(-0.3)
+        assert device.programming_energy_j == pytest.approx(2 * device.gst.write_energy_j)
+
+    def test_physical_differential_tracks_calibration(self):
+        """The full ring formula at the programmed GST state must agree
+        with the calibration curve the bank math uses."""
+        device = PCMMRRWeight()
+        for target in (-0.6, 0.0, 0.7):
+            device.program(target)
+            d_phys = device.differential_transmission()
+            w_phys = float(device.calibration.differential_to_weight(d_phys))
+            assert w_phys == pytest.approx(target, abs=0.02)
+
+    def test_custom_ring_gets_own_calibration(self):
+        ring = AddDropMRR(input_coupling=0.9, drop_coupling=0.9)
+        device = PCMMRRWeight(ring=ring)
+        assert device.calibration.d_sym > 0
+
+    def test_material_levels_respected(self):
+        device = PCMMRRWeight()
+        assert device.calibration.levels == GSTMaterial().levels

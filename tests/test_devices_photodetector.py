@@ -1,0 +1,90 @@
+"""Tests for photodetector and balanced-pair models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.noise import NoiseModel
+from repro.devices.photodetector import BalancedPhotodetector, Photodetector
+from repro.errors import ConfigError, DeviceError
+
+
+class TestPhotodetector:
+    def test_photocurrent_linear_in_power(self):
+        pd = Photodetector(dark_current_a=0.0)
+        assert float(pd.photocurrent(2e-3)) == pytest.approx(2 * float(pd.photocurrent(1e-3)))
+
+    def test_dark_current_added(self):
+        pd = Photodetector(dark_current_a=5e-9)
+        assert float(pd.photocurrent(0.0)) == pytest.approx(5e-9)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(DeviceError):
+            Photodetector().photocurrent(-1e-3)
+
+    def test_shot_noise_grows_with_sqrt_power(self):
+        pd = Photodetector(dark_current_a=0.0)
+        ratio = float(pd.shot_noise_std(4e-3)) / float(pd.shot_noise_std(1e-3))
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+    def test_thermal_noise_independent_of_power(self):
+        pd = Photodetector()
+        assert pd.thermal_noise_std() > 0
+
+    def test_snr_improves_with_power(self):
+        pd = Photodetector()
+        assert pd.snr_db(1e-3) > pd.snr_db(1e-6)
+
+    def test_snr_rejects_nonpositive_power(self):
+        with pytest.raises(DeviceError):
+            Photodetector().snr_db(0.0)
+
+    def test_snr_is_tens_of_db_at_milliwatt(self):
+        assert 20 < Photodetector().snr_db(1e-3) < 120
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            Photodetector(responsivity_a_per_w=0.0)
+        with pytest.raises(ConfigError):
+            Photodetector(dark_current_a=-1e-9)
+        with pytest.raises(ConfigError):
+            Photodetector(bandwidth_hz=0.0)
+
+
+class TestBalancedPhotodetector:
+    def test_differential_subtracts(self):
+        bpd = BalancedPhotodetector()
+        r = bpd.detector.responsivity_a_per_w
+        out = bpd.detect(2e-3, 0.5e-3)
+        assert float(out) == pytest.approx(r * 1.5e-3)
+
+    def test_dark_current_cancels(self):
+        bpd = BalancedPhotodetector(detector=Photodetector(dark_current_a=1e-6))
+        assert float(bpd.detect(1e-3, 1e-3)) == pytest.approx(0.0)
+
+    def test_rejects_shape_mismatch(self):
+        bpd = BalancedPhotodetector()
+        with pytest.raises(DeviceError):
+            bpd.detect(np.ones(3), np.ones(4))
+
+    def test_rejects_negative_power(self):
+        bpd = BalancedPhotodetector()
+        with pytest.raises(DeviceError):
+            bpd.detect(np.array([-1e-3]), np.array([0.0]))
+
+    def test_detect_normalized_identity_when_ideal(self):
+        bpd = BalancedPhotodetector()
+        sig = np.array([1.0, -2.0, 0.25, 0.0])
+        assert np.allclose(bpd.detect_normalized(sig), sig)
+
+    def test_detect_normalized_noisy_is_unbiased(self):
+        bpd = BalancedPhotodetector(noise=NoiseModel.realistic(seed=3))
+        sig = np.full(20000, 0.5)
+        out = bpd.detect_normalized(sig)
+        assert np.mean(out) == pytest.approx(0.5, abs=1e-3)
+        assert np.std(out) > 0
+
+    def test_noise_repeatable_from_seed(self):
+        sig = np.linspace(-1, 1, 64)
+        a = BalancedPhotodetector(noise=NoiseModel.realistic(seed=9)).detect_normalized(sig)
+        b = BalancedPhotodetector(noise=NoiseModel.realistic(seed=9)).detect_normalized(sig)
+        assert np.array_equal(a, b)

@@ -1,0 +1,112 @@
+"""Tests for the TIA, laser array, and E/O modulator."""
+
+import numpy as np
+import pytest
+
+from repro.devices.laser import EOModulator, LaserArray, LaserSource
+from repro.devices.tia import TransimpedanceAmplifier
+from repro.devices.waveguide import WDMChannelPlan
+from repro.errors import ConfigError, DeviceError
+
+
+class TestTIA:
+    def test_amplify_applies_transimpedance_and_gain(self):
+        tia = TransimpedanceAmplifier(transimpedance_ohms=1000.0, gain=0.5)
+        assert float(tia.amplify(1e-3)) == pytest.approx(0.5)
+
+    def test_saturation_clamps(self):
+        tia = TransimpedanceAmplifier(saturation_v=1.0)
+        assert float(tia.amplify(1.0)) == 1.0
+        assert float(tia.amplify(-1.0)) == -1.0
+
+    def test_set_gain_for_training(self):
+        tia = TransimpedanceAmplifier()
+        tia.set_gain(0.34)
+        assert float(tia.amplify_normalized(2.0)) == pytest.approx(0.68)
+
+    def test_zero_gain_kills_signal(self):
+        tia = TransimpedanceAmplifier()
+        tia.set_gain(0.0)
+        assert float(tia.amplify_normalized(5.0)) == 0.0
+
+    def test_gain_bounds_enforced(self):
+        tia = TransimpedanceAmplifier(max_gain=2.0)
+        with pytest.raises(DeviceError):
+            tia.set_gain(3.0)
+        with pytest.raises(DeviceError):
+            tia.set_gain(-0.1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            TransimpedanceAmplifier(transimpedance_ohms=0.0)
+        with pytest.raises(ConfigError):
+            TransimpedanceAmplifier(gain=10.0, max_gain=1.0)
+
+    def test_amplify_normalized_vectorized(self):
+        tia = TransimpedanceAmplifier()
+        tia.set_gain(2.0)
+        out = tia.amplify_normalized(np.array([1.0, -0.5]))
+        assert np.allclose(out, [2.0, -1.0])
+
+
+class TestEOModulator:
+    def test_encode_preserves_sign(self):
+        mod = EOModulator()
+        out = mod.encode(np.array([0.5, -0.5]))
+        assert out[0] > 0 > out[1]
+
+    def test_encode_magnitude_scaled_by_insertion_loss(self):
+        mod = EOModulator(insertion_loss_db=3.0103)
+        assert abs(float(mod.encode(1.0))) == pytest.approx(0.5, rel=1e-3)
+
+    def test_extinction_floor(self):
+        mod = EOModulator(extinction_ratio_db=20.0)
+        assert abs(float(mod.encode(0.0))) <= mod.floor * mod.transmission + 1e-12
+
+    def test_rejects_overrange(self):
+        with pytest.raises(DeviceError):
+            EOModulator().encode(1.5)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            EOModulator(extinction_ratio_db=0.0)
+
+
+class TestLaserSource:
+    def test_defaults_valid(self):
+        src = LaserSource()
+        assert src.power_w > 0
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ConfigError):
+            LaserSource(wavelength_m=0.0)
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ConfigError):
+            LaserSource(power_w=0.0)
+
+
+class TestLaserArray:
+    def test_one_source_per_channel(self):
+        arr = LaserArray(WDMChannelPlan(16))
+        assert len(arr.sources) == 16
+
+    def test_sources_match_plan_wavelengths(self):
+        plan = WDMChannelPlan(4)
+        arr = LaserArray(plan)
+        assert [s.wavelength_m for s in arr.sources] == pytest.approx(list(plan.wavelengths))
+
+    def test_total_electrical_power(self):
+        arr = LaserArray(WDMChannelPlan(16))
+        # Table III: 0.032 mW per E/O laser.
+        assert arr.total_electrical_power_w == pytest.approx(16 * 0.032e-3)
+
+    def test_encode_vector_shape_checked(self):
+        arr = LaserArray(WDMChannelPlan(4))
+        with pytest.raises(DeviceError):
+            arr.encode_vector(np.zeros(5))
+
+    def test_encode_vector_roundtrip_signs(self):
+        arr = LaserArray(WDMChannelPlan(3))
+        out = arr.encode_vector(np.array([0.5, -0.5, 0.0]))
+        assert out[0] > 0 > out[1]

@@ -1,0 +1,117 @@
+"""Tests for the WDM bus and channel plan."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MIN_WDM_SPACING, NM
+from repro.devices.mrr import AddDropMRR
+from repro.devices.waveguide import WDMBus, WDMChannelPlan
+from repro.errors import ConfigError, DeviceError
+
+
+class TestChannelPlan:
+    def test_wavelengths_centered(self):
+        plan = WDMChannelPlan(16)
+        lams = plan.wavelengths
+        assert np.mean(lams) == pytest.approx(plan.center_m)
+
+    def test_spacing_uniform(self):
+        plan = WDMChannelPlan(8)
+        assert np.allclose(np.diff(plan.wavelengths), plan.spacing_m)
+
+    def test_minimum_spacing_enforced(self):
+        with pytest.raises(ConfigError):
+            WDMChannelPlan(4, spacing_m=1.0 * NM)
+
+    def test_paper_minimum_spacing_accepted(self):
+        plan = WDMChannelPlan(4, spacing_m=MIN_WDM_SPACING)
+        assert plan.spacing_m == MIN_WDM_SPACING
+
+    def test_span(self):
+        plan = WDMChannelPlan(16)
+        assert plan.span_m == pytest.approx(15 * plan.spacing_m)
+
+    def test_single_channel(self):
+        plan = WDMChannelPlan(1)
+        assert plan.wavelengths.shape == (1,)
+        assert plan.span_m == 0.0
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigError):
+            WDMChannelPlan(0)
+
+
+class TestWDMBus:
+    def test_insertion_loss_includes_propagation(self):
+        bus = WDMBus(WDMChannelPlan(4), propagation_loss_db_per_cm=2.0,
+                     length_m=1e-2, coupling_loss_db=1.0)
+        assert bus.insertion_loss_db == pytest.approx(3.0)
+
+    def test_transmission_below_unity(self):
+        bus = WDMBus(WDMChannelPlan(4))
+        assert 0 < bus.transmission < 1
+
+    def test_propagate_scales_power(self):
+        bus = WDMBus(WDMChannelPlan(4))
+        p = np.full(4, 1e-3)
+        out = bus.propagate(p)
+        assert np.allclose(out, 1e-3 * bus.transmission)
+
+    def test_propagate_rejects_wrong_channel_count(self):
+        bus = WDMBus(WDMChannelPlan(4))
+        with pytest.raises(DeviceError):
+            bus.propagate(np.ones(5))
+
+    def test_propagate_rejects_negative_power(self):
+        bus = WDMBus(WDMChannelPlan(2))
+        with pytest.raises(DeviceError):
+            bus.propagate(np.array([1e-3, -1e-3]))
+
+    def test_rejects_negative_losses(self):
+        with pytest.raises(ConfigError):
+            WDMBus(WDMChannelPlan(2), coupling_loss_db=-1.0)
+
+
+class TestCrosstalk:
+    def test_matrix_shape_and_diagonal(self):
+        bus = WDMBus(WDMChannelPlan(8))
+        x = bus.crosstalk_matrix()
+        assert x.shape == (8, 8)
+        assert np.allclose(np.diag(x), 1.0)
+
+    def test_off_diagonal_suppressed(self):
+        bus = WDMBus(WDMChannelPlan(8))
+        x = bus.crosstalk_matrix()
+        off = x - np.eye(8)
+        assert np.all(off < 0.2)
+        assert np.all(off >= 0)
+
+    def test_adjacent_worse_than_distant(self):
+        bus = WDMBus(WDMChannelPlan(8))
+        x = bus.crosstalk_matrix()
+        assert x[3, 4] > x[3, 7]
+
+    def test_wider_spacing_reduces_crosstalk(self):
+        tight = WDMBus(WDMChannelPlan(8, spacing_m=1.6 * NM))
+        wide = WDMBus(WDMChannelPlan(8, spacing_m=3.2 * NM))
+        assert wide.worst_case_crosstalk_db() < tight.worst_case_crosstalk_db()
+
+    def test_matrix_cached(self):
+        bus = WDMBus(WDMChannelPlan(4))
+        assert bus.crosstalk_matrix() is bus.crosstalk_matrix()
+
+    def test_worst_case_is_negative_db(self):
+        bus = WDMBus(WDMChannelPlan(16))
+        assert bus.worst_case_crosstalk_db() < 0
+
+    def test_single_channel_has_no_crosstalk(self):
+        bus = WDMBus(WDMChannelPlan(1))
+        assert bus.worst_case_crosstalk_db() == -np.inf
+
+    def test_custom_reference_ring(self):
+        bus = WDMBus(WDMChannelPlan(4))
+        high_q = AddDropMRR(input_coupling=0.99, drop_coupling=0.99)
+        x_high_q = bus.crosstalk_matrix(high_q)
+        default = WDMBus(WDMChannelPlan(4)).crosstalk_matrix()
+        # Sharper rings leak less into neighbours.
+        assert x_high_q[0, 1] < default[0, 1]

@@ -1,0 +1,73 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Production-quality enforcement of deliverable (e): doc comments on every
+public module, class, function, and method.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+EXEMPT_METHOD_NAMES = {
+    # Dataclass-generated / dunder machinery.
+    "__init__", "__post_init__", "__repr__", "__eq__", "__hash__",
+    "__len__", "__contains__",
+}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # importing it runs the CLI
+            continue
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_") or meth_name in EXEMPT_METHOD_NAMES:
+                    continue
+                if not callable(meth) and not isinstance(meth, property):
+                    continue
+                target = meth.fget if isinstance(meth, property) else meth
+                if not inspect.isfunction(target):
+                    continue
+                if target.__doc__ and target.__doc__.strip():
+                    continue
+                # Overrides inherit their base method's documentation.
+                inherited = any(
+                    (base_attr := getattr(base, meth_name, None)) is not None
+                    and (
+                        base_attr.fget.__doc__
+                        if isinstance(base_attr, property) and base_attr.fget
+                        else getattr(base_attr, "__doc__", None)
+                    )
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{module.__name__}.{name}.{meth_name}")
+    assert not undocumented, undocumented

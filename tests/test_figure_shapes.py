@@ -1,0 +1,100 @@
+"""Qualitative shape tests on the regenerated figures.
+
+The calibration (EXPERIMENTS.md) pins the paper's *averages*; these tests
+pin the *uncalibrated structure* — per-model orderings and relationships
+that emerge from the model rather than from fitted constants.  They are the
+regression net for the reproduction's actual content.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import fig4_photonic_energy, fig6_inferences_per_second
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_photonic_energy()
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_inferences_per_second()
+
+
+class TestFig4Shapes:
+    def test_vgg_is_most_expensive_on_every_architecture(self, fig4):
+        """15.5 GMACs dominate: VGG-16 costs the most energy everywhere."""
+        for name, series in fig4.series.items():
+            assert max(series, key=series.get) == "vgg16", name
+
+    def test_mobilenet_is_cheapest_on_every_architecture(self, fig4):
+        for name, series in fig4.series.items():
+            assert min(series, key=series.get) == "mobilenet_v2", name
+
+    def test_energy_ordering_tracks_mac_count_for_dense_models(self, fig4):
+        """Among the dense CNNs, energy follows MACs (alexnet < googlenet
+        < resnet50 < vgg16) on Trident."""
+        trident = fig4.series["trident"]
+        assert (
+            trident["alexnet"]
+            < trident["googlenet"]
+            < trident["resnet50"]
+            < trident["vgg16"]
+        )
+
+    def test_crosslight_and_pixel_worse_than_deap_everywhere(self, fig4):
+        """The paper's Sec. V-A: the VCSEL/MZM extras cost more than
+        DEAP's converters, on every model."""
+        for model in fig4.series["trident"]:
+            assert fig4.series["crosslight"][model] > fig4.series["deap-cnn"][model]
+            assert fig4.series["pixel"][model] > fig4.series["deap-cnn"][model]
+
+
+class TestFig6Shapes:
+    def test_alexnet_fastest_dense_model_on_photonics(self, fig6):
+        """Fewest MACs among dense models -> highest inf/s on Trident."""
+        trident = fig6.series["trident"]
+        dense = {m: trident[m] for m in ("alexnet", "googlenet", "resnet50", "vgg16")}
+        assert max(dense, key=dense.get) == "alexnet"
+
+    def test_vgg_slowest_everywhere(self, fig6):
+        for name, series in fig6.series.items():
+            assert min(series, key=series.get) == "vgg16", name
+
+    def test_photonic_ranking_stable_across_models(self, fig6):
+        """Trident > DEAP > {CrossLight, PIXEL} on every model."""
+        for model in fig6.series["trident"]:
+            t = fig6.series["trident"][model]
+            d = fig6.series["deap-cnn"][model]
+            c = fig6.series["crosslight"][model]
+            p = fig6.series["pixel"][model]
+            assert t > d > max(c, p), model
+
+    def test_electronic_ranking_follows_sustained_tops(self, fig6):
+        """Xavier > TB96 > Coral on every model (spec + utilization)."""
+        for model in fig6.series["trident"]:
+            assert (
+                fig6.series["agx-xavier"][model]
+                > fig6.series["tb96-ai"][model]
+                > fig6.series["google-coral"][model]
+            ), model
+
+    def test_mobilenet_is_tridents_weakest_advantage(self, fig6):
+        """Depthwise occupancy: Trident's margin over Xavier is smallest
+        (negative) on MobileNetV2 — the documented deviation's signature."""
+        margins = {
+            m: fig6.series["trident"][m] / fig6.series["agx-xavier"][m]
+            for m in fig6.series["trident"]
+        }
+        assert min(margins, key=margins.get) == "mobilenet_v2"
+
+    def test_effective_tops_consistency(self, fig6):
+        """Trident's ips imply effective TOPS below its 7.8 peak on every
+        model (no model can exceed the roofline)."""
+        from repro.nn import build_model
+
+        for model, ips in fig6.series["trident"].items():
+            macs = build_model(model).stats().total_macs
+            eff_tops = 2 * macs * ips / 1e12
+            assert eff_tops <= 7.8 + 0.05, model

@@ -1,0 +1,186 @@
+"""Tests for the CNN model zoo against published layer statistics."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.graph import Network
+from repro.nn.layers import TensorShape
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    PAPER_MODELS,
+    alexnet,
+    build_model,
+    googlenet,
+    mobilenet_v2,
+    resnet50,
+    vgg16,
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return {name: build_model(name) for name in MODEL_BUILDERS}
+
+
+class TestRegistry:
+    def test_five_models(self):
+        assert set(MODEL_BUILDERS) == {
+            "alexnet", "vgg16", "googlenet", "resnet50", "mobilenet_v2",
+        }
+
+    def test_paper_models_subset(self):
+        assert set(PAPER_MODELS) == set(MODEL_BUILDERS)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ShapeError):
+            build_model("lenet9000")
+
+    def test_all_output_1000_classes(self, zoo):
+        for net in zoo.values():
+            assert net.output_shape == TensorShape(1, 1, 1000)
+
+    def test_custom_class_count(self):
+        assert alexnet(n_classes=10).output_shape.channels == 10
+
+
+class TestAlexNet:
+    def test_param_count(self, zoo):
+        # Classic (ungrouped) AlexNet: ~62 M parameters.
+        assert zoo["alexnet"].stats().total_params == pytest.approx(62.4e6, rel=0.01)
+
+    def test_mac_count(self, zoo):
+        assert zoo["alexnet"].stats().total_macs == pytest.approx(1.14e9, rel=0.02)
+
+    def test_conv_tower_shapes(self, zoo):
+        net = zoo["alexnet"]
+        assert net.shape_of("conv1") == TensorShape(55, 55, 96)
+        assert net.shape_of("pool1") == TensorShape(27, 27, 96)
+        assert net.shape_of("conv5") == TensorShape(13, 13, 256)
+        assert net.shape_of("pool3") == TensorShape(6, 6, 256)
+
+    def test_fc6_input_is_9216(self, zoo):
+        g = [s for s in zoo["alexnet"].stats().layers if s.name == "fc6"][0].gemm
+        assert g.k == 9216
+        assert g.m == 4096
+
+    def test_eight_weight_layers(self, zoo):
+        assert zoo["alexnet"].stats().n_weight_layers == 8
+
+
+class TestVGG16:
+    def test_param_count(self, zoo):
+        assert zoo["vgg16"].stats().total_params == pytest.approx(138.4e6, rel=0.005)
+
+    def test_mac_count(self, zoo):
+        assert zoo["vgg16"].stats().total_macs == pytest.approx(15.47e9, rel=0.005)
+
+    def test_sixteen_weight_layers(self, zoo):
+        assert zoo["vgg16"].stats().n_weight_layers == 16
+
+    def test_final_conv_shape(self, zoo):
+        assert zoo["vgg16"].shape_of("conv5_3") == TensorShape(14, 14, 512)
+        assert zoo["vgg16"].shape_of("pool5") == TensorShape(7, 7, 512)
+
+
+class TestGoogleNet:
+    def test_param_count(self, zoo):
+        # Inception v1 without aux heads: ~7 M parameters.
+        assert zoo["googlenet"].stats().total_params == pytest.approx(7.0e6, rel=0.05)
+
+    def test_mac_count(self, zoo):
+        assert zoo["googlenet"].stats().total_macs == pytest.approx(1.58e9, rel=0.05)
+
+    def test_inception_3a_concat_channels(self, zoo):
+        # 64 + 128 + 32 + 32 = 256.
+        assert zoo["googlenet"].shape_of("inception3a_concat").channels == 256
+
+    def test_inception_5b_concat_channels(self, zoo):
+        assert zoo["googlenet"].shape_of("inception5b_concat").channels == 1024
+
+    def test_many_small_layers(self, zoo):
+        # The property behind Table V's sign flip: 58 weight layers.
+        assert zoo["googlenet"].stats().n_weight_layers == 58
+
+
+class TestResNet50:
+    def test_param_count(self, zoo):
+        assert zoo["resnet50"].stats().total_params == pytest.approx(25.5e6, rel=0.02)
+
+    def test_mac_count(self, zoo):
+        assert zoo["resnet50"].stats().total_macs == pytest.approx(4.1e9, rel=0.02)
+
+    def test_stage_output_shapes(self, zoo):
+        net = zoo["resnet50"]
+        assert net.shape_of("res2_2_add") == TensorShape(56, 56, 256)
+        assert net.shape_of("res3_3_add") == TensorShape(28, 28, 512)
+        assert net.shape_of("res4_5_add") == TensorShape(14, 14, 1024)
+        assert net.shape_of("res5_2_add") == TensorShape(7, 7, 2048)
+
+    def test_53_convs_plus_fc(self, zoo):
+        assert zoo["resnet50"].stats().n_weight_layers == 54
+
+
+class TestMobileNetV2:
+    def test_param_count(self, zoo):
+        assert zoo["mobilenet_v2"].stats().total_params == pytest.approx(3.5e6, rel=0.02)
+
+    def test_mac_count(self, zoo):
+        assert zoo["mobilenet_v2"].stats().total_macs == pytest.approx(0.3e9, rel=0.05)
+
+    def test_head_shape(self, zoo):
+        assert zoo["mobilenet_v2"].shape_of("conv_head") == TensorShape(7, 7, 1280)
+
+    def test_first_block_no_expand(self, zoo):
+        net = zoo["mobilenet_v2"]
+        assert "block0_expand" not in net
+        assert "block1_expand" in net
+
+    def test_residual_adds_present_where_shapes_match(self, zoo):
+        net = zoo["mobilenet_v2"]
+        # Stage with repeats>1, stride 1 within stage: block2 adds to block1.
+        assert "block2_add" in net
+
+    def test_stem_downsamples(self, zoo):
+        assert zoo["mobilenet_v2"].shape_of("conv_stem") == TensorShape(112, 112, 32)
+
+
+class TestRelativeOrdering:
+    def test_mac_ordering_matches_literature(self, zoo):
+        macs = {name: net.stats().total_macs for name, net in zoo.items()}
+        assert macs["mobilenet_v2"] < macs["alexnet"] < macs["googlenet"]
+        assert macs["googlenet"] < macs["resnet50"] < macs["vgg16"]
+
+    def test_param_ordering(self, zoo):
+        params = {name: net.stats().total_params for name, net in zoo.items()}
+        assert params["mobilenet_v2"] < params["googlenet"] < params["resnet50"]
+        assert params["resnet50"] < params["alexnet"] < params["vgg16"]
+
+
+class TestInputFlexibility:
+    """The builders are parametric, not hard-coded to 224x224."""
+
+    @pytest.mark.parametrize("size", [96, 160, 320])
+    def test_resnet50_resolves_other_resolutions(self, size):
+        net = resnet50(input_shape=TensorShape(size, size, 3))
+        assert net.output_shape.channels == 1000
+        assert net.stats().total_macs > 0
+
+    @pytest.mark.parametrize("size", [128, 192])
+    def test_mobilenet_resolves_other_resolutions(self, size):
+        net = mobilenet_v2(input_shape=TensorShape(size, size, 3))
+        assert net.output_shape.channels == 1000
+
+    def test_macs_scale_roughly_quadratically_with_resolution(self):
+        small = vgg16(input_shape=TensorShape(112, 112, 3)).stats()
+        large = vgg16(input_shape=TensorShape(224, 224, 3)).stats()
+        # Conv MACs scale 4x; the fixed fc head dilutes slightly.
+        ratio = large.total_macs / small.total_macs
+        assert 3.0 < ratio < 4.2
+
+    def test_grayscale_input(self):
+        net = alexnet(input_shape=TensorShape(224, 224, 1))
+        assert net.stats().total_params < alexnet().stats().total_params
+
+    def test_googlenet_small_input(self):
+        net = googlenet(input_shape=TensorShape(64, 64, 3))
+        assert net.output_shape.channels == 1000

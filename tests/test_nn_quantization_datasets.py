@@ -1,0 +1,181 @@
+"""Tests for quantization and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ProgrammingError
+from repro.nn.datasets import (
+    Dataset,
+    make_blobs,
+    make_moons,
+    make_teacher,
+    one_hot,
+    standardize,
+)
+from repro.nn.quantization import (
+    QuantizedTensor,
+    UniformQuantizer,
+    quantization_snr_db,
+    quantize_tensor,
+)
+
+
+class TestUniformQuantizer:
+    def test_from_bits(self):
+        assert UniformQuantizer.from_bits(8).levels == 255
+        assert UniformQuantizer.from_bits(6).levels == 63
+
+    def test_endpoints(self):
+        q = UniformQuantizer(255)
+        assert q.quantize(np.array([-1.0])) == 0
+        assert q.quantize(np.array([1.0])) == 254
+
+    def test_roundtrip_within_half_step(self):
+        q = UniformQuantizer(255)
+        v = np.linspace(-1, 1, 999)
+        assert np.max(np.abs(q.roundtrip(v) - v)) <= q.step / 2 + 1e-12
+
+    def test_six_bit_coarser_than_eight(self):
+        v = np.linspace(-1, 1, 999)
+        e8 = np.max(np.abs(UniformQuantizer.from_bits(8).roundtrip(v) - v))
+        e6 = np.max(np.abs(UniformQuantizer.from_bits(6).roundtrip(v) - v))
+        assert e6 > e8
+
+    def test_rejects_overrange(self):
+        with pytest.raises(ProgrammingError):
+            UniformQuantizer(255).quantize(np.array([1.01]))
+
+    def test_dequantize_rejects_bad_levels(self):
+        with pytest.raises(ProgrammingError):
+            UniformQuantizer(255).dequantize(np.array([255]))
+
+    def test_max_error(self):
+        q = UniformQuantizer(255)
+        assert q.max_error() == pytest.approx(q.step / 2)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ProgrammingError):
+            UniformQuantizer(1)
+
+
+class TestQuantizeTensor:
+    def test_scale_restores_range(self, rng):
+        w = rng.normal(0, 2, size=(8, 8))
+        qt = quantize_tensor(w, bits=8)
+        assert isinstance(qt, QuantizedTensor)
+        assert np.max(np.abs(qt.values - w)) <= qt.scale * qt.quantizer.step / 2 + 1e-12
+
+    def test_zero_tensor(self):
+        qt = quantize_tensor(np.zeros((3, 3)))
+        assert np.allclose(qt.values, 0.0)
+
+    def test_snr_improves_with_bits(self, rng):
+        w = rng.normal(size=1000)
+        assert quantization_snr_db(w, 8) > quantization_snr_db(w, 6) + 10
+
+    def test_snr_8bit_is_about_50db(self, rng):
+        w = rng.uniform(-1, 1, 10000)
+        assert 45 < quantization_snr_db(w, 8) < 60
+
+    def test_snr_rejects_zero_tensor(self):
+        with pytest.raises(ProgrammingError):
+            quantization_snr_db(np.zeros(4))
+
+
+class TestDataset:
+    def test_properties(self):
+        d = make_blobs(n_samples=100, n_features=5, n_classes=3, seed=0)
+        assert d.n_samples == 100
+        assert d.n_features == 5
+        assert d.n_classes == 3
+
+    def test_split_partitions(self):
+        d = make_blobs(n_samples=100, seed=0)
+        tr, te = d.split(0.75, seed=1)
+        assert tr.n_samples == 75
+        assert te.n_samples == 25
+
+    def test_split_disjoint_and_complete(self):
+        d = make_blobs(n_samples=50, n_features=2, seed=0)
+        tr, te = d.split(0.8, seed=1)
+        combined = np.vstack([tr.x, te.x])
+        assert combined.shape == d.x.shape
+        # Every original row appears exactly once.
+        orig = {tuple(row) for row in d.x}
+        got = {tuple(row) for row in combined}
+        assert orig == got
+
+    def test_split_rejects_degenerate_fraction(self):
+        d = make_blobs(n_samples=10, seed=0)
+        with pytest.raises(ConfigError):
+            d.split(1.5)
+
+    def test_batches_cover_everything(self):
+        d = make_blobs(n_samples=37, seed=0)
+        total = sum(len(y) for _, y in d.batches(8, seed=3))
+        assert total == 37
+
+    def test_batches_shuffled_by_seed(self):
+        d = make_blobs(n_samples=32, seed=0)
+        a = next(iter(d.batches(32, seed=1)))[1]
+        b = next(iter(d.batches(32, seed=2)))[1]
+        assert not np.array_equal(a, b)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            Dataset(x=np.zeros((5, 2)), y=np.zeros(4, dtype=int))
+
+
+class TestGenerators:
+    def test_blobs_deterministic(self):
+        a = make_blobs(seed=7)
+        b = make_blobs(seed=7)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_blobs_separable_when_tight(self):
+        d = make_blobs(n_samples=200, spread=0.05, seed=0)
+        # Nearest-centroid should be nearly perfect at tiny spread.
+        centroids = np.stack([d.x[d.y == k].mean(axis=0) for k in range(d.n_classes)])
+        pred = np.argmin(
+            np.linalg.norm(d.x[:, None, :] - centroids[None], axis=2), axis=1
+        )
+        assert np.mean(pred == d.y) > 0.95
+
+    def test_moons_binary_2d(self):
+        d = make_moons(n_samples=100, seed=0)
+        assert d.n_features == 2
+        assert d.n_classes == 2
+
+    def test_teacher_labels_in_range(self):
+        d = make_teacher(n_samples=100, n_classes=4, seed=0)
+        assert set(np.unique(d.y)) <= set(range(4))
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigError):
+            make_blobs(n_samples=1, n_classes=4)
+        with pytest.raises(ConfigError):
+            make_moons(n_samples=2)
+        with pytest.raises(ConfigError):
+            make_teacher(n_classes=1)
+
+
+class TestHelpers:
+    def test_standardize(self, rng):
+        x = rng.normal(5, 3, size=(200, 4))
+        z = standardize(x)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1, atol=1e-12)
+
+    def test_standardize_constant_feature(self):
+        x = np.ones((10, 2))
+        z = standardize(x)
+        assert np.all(np.isfinite(z))
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float))
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            one_hot(np.array([3]), 3)

@@ -1,0 +1,189 @@
+"""Tests for the digital reference NN math (incl. gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.reference import (
+    DigitalMLP,
+    conv2d_reference,
+    cross_entropy_loss,
+    gst_activation,
+    gst_derivative,
+    im2col,
+    mse_loss,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0, 0, 2])
+
+    def test_relu_grad(self):
+        assert np.array_equal(relu_grad(np.array([-1.0, 0.0, 2.0])), [0, 0, 1])
+
+    def test_gst_activation_slope(self):
+        assert np.allclose(gst_activation(np.array([2.0])), [0.68])
+
+    def test_gst_derivative_two_valued(self):
+        d = gst_derivative(np.array([-1.0, 1.0]))
+        assert np.allclose(d, [0.0, 0.34])
+
+
+class TestLosses:
+    def test_mse_zero_at_match(self):
+        loss, grad = mse_loss(np.ones(4), np.ones(4))
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_mse_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=6)
+        target = rng.normal(size=6)
+        loss, grad = mse_loss(pred, target)
+        eps = 1e-6
+        for i in range(6):
+            p = pred.copy()
+            p[i] += eps
+            num = (mse_loss(p, target)[0] - loss) / eps
+            assert num == pytest.approx(grad[i], rel=1e-4, abs=1e-8)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse_loss(np.ones(3), np.ones(4))
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.random.default_rng(1).normal(size=(5, 7))
+        assert np.allclose(softmax(z).sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(out, 0.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        loss, grad = cross_entropy_loss(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                z = logits.copy()
+                z[i, j] += eps
+                num = (cross_entropy_loss(z, labels)[0] - loss) / eps
+                assert num == pytest.approx(grad[i, j], rel=1e-3, abs=1e-8)
+
+    def test_cross_entropy_label_count_checked(self):
+        with pytest.raises(ShapeError):
+            cross_entropy_loss(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+
+class TestDigitalMLP:
+    def test_forward_shapes(self):
+        mlp = DigitalMLP([8, 6, 3], seed=0)
+        out = mlp.forward(np.zeros((5, 8)))
+        assert out.shape == (5, 3)
+
+    def test_rejects_wrong_input_width(self):
+        mlp = DigitalMLP([8, 3], seed=0)
+        with pytest.raises(ShapeError):
+            mlp.forward(np.zeros((2, 9)))
+
+    def test_rejects_bad_dims_or_activation(self):
+        with pytest.raises(ShapeError):
+            DigitalMLP([5])
+        with pytest.raises(ShapeError):
+            DigitalMLP([5, 3], activation="swish")
+
+    def test_gradients_match_finite_difference(self):
+        """Backprop (the paper's Eqs. 1-3) against numerical gradients."""
+        rng = np.random.default_rng(3)
+        mlp = DigitalMLP([5, 4, 3], activation="gst", seed=1)
+        x = rng.normal(size=(2, 5))
+        labels = np.array([0, 2])
+
+        def loss_at():
+            return cross_entropy_loss(mlp.forward(x), labels)[0]
+
+        base_loss, grad_out = cross_entropy_loss(mlp.forward(x), labels)
+        grads = mlp.gradients(x, grad_out)
+        eps = 1e-6
+        for k, w in enumerate(mlp.weights):
+            for idx in [(0, 0), (1, 2), (w.shape[0] - 1, w.shape[1] - 1)]:
+                old = w[idx]
+                w[idx] = old + eps
+                num = (loss_at() - base_loss) / eps
+                w[idx] = old
+                assert num == pytest.approx(grads.weights[k][idx], rel=1e-3, abs=1e-6)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(4)
+        mlp = DigitalMLP([4, 8, 2], seed=5)
+        x = rng.normal(size=(64, 4))
+        labels = (x[:, 0] > 0).astype(int)
+        first = mlp.train_step(x, labels, lr=0.5)
+        for _ in range(50):
+            last = mlp.train_step(x, labels, lr=0.5)
+        assert last < first
+
+    def test_accuracy_and_predict(self):
+        mlp = DigitalMLP([2, 2], seed=0, weight_scale=1.0)
+        mlp.weights[0] = np.array([[1.0, 0.0], [0.0, 1.0]])
+        x = np.array([[3.0, 0.0], [0.0, 3.0]])
+        assert np.array_equal(mlp.predict(x), [0, 1])
+        assert mlp.accuracy(x, np.array([0, 1])) == 1.0
+
+
+class TestIm2Col:
+    def test_patch_count_and_width(self):
+        img = np.arange(5 * 5 * 2, dtype=float).reshape(5, 5, 2)
+        cols = im2col(img, kernel=3, stride=1, padding=0)
+        assert cols.shape == (9, 18)
+
+    def test_stride_and_padding(self):
+        img = np.ones((4, 4, 1))
+        cols = im2col(img, kernel=2, stride=2, padding=0)
+        assert cols.shape == (4, 4)
+        padded = im2col(img, kernel=3, stride=1, padding=1)
+        assert padded.shape == (16, 9)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            im2col(np.ones((4, 4)), 2, 1, 0)
+
+    def test_conv_reference_matches_manual(self):
+        rng = np.random.default_rng(6)
+        img = rng.normal(size=(5, 5, 2))
+        filt = rng.normal(size=(3, 2, 2, 2))  # K=3, R=2, C=2
+        out = conv2d_reference(img, filt, stride=1, padding=0)
+        assert out.shape == (4, 4, 3)
+        # Check one output element by hand.
+        manual = np.sum(img[0:2, 0:2, :] * filt[0])
+        assert out[0, 0, 0] == pytest.approx(manual)
+
+    def test_conv_reference_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            conv2d_reference(np.ones((4, 4, 3)), np.ones((2, 2, 2, 2)))
+
+    def test_conv_gemm_dims_match_layer_descriptor(self):
+        """The executable conv and the Conv2D descriptor must agree on the
+        GEMM the layer lowers to."""
+        from repro.nn.layers import Conv2D, TensorShape
+
+        rng = np.random.default_rng(7)
+        img = rng.normal(size=(8, 8, 4))
+        conv = Conv2D("c", 6, kernel=3, stride=1, padding=1)
+        g = conv.gemm([TensorShape(8, 8, 4)])
+        cols = im2col(img, 3, 1, 1)
+        assert cols.shape == (g.n, g.k)
+        filt = rng.normal(size=(6, 3, 3, 4))
+        out = conv2d_reference(img, filt, stride=1, padding=1)
+        assert out.shape[2] == g.m

@@ -1,0 +1,118 @@
+"""Tests for iterative program-and-verify PCM writing."""
+
+import numpy as np
+import pytest
+
+from repro.devices.program_verify import (
+    ProgramVerifyConfig,
+    ProgramVerifyWriter,
+    ProgramVerifyResult,
+)
+from repro.errors import ConfigError, ProgrammingError
+
+
+@pytest.fixture
+def writer():
+    return ProgramVerifyWriter(seed=1)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ProgramVerifyConfig()
+        assert cfg.levels == 255
+        assert cfg.max_iterations == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProgramVerifyConfig(write_std_levels=-1)
+        with pytest.raises(ConfigError):
+            ProgramVerifyConfig(tolerance_levels=0)
+        with pytest.raises(ConfigError):
+            ProgramVerifyConfig(max_iterations=0)
+        with pytest.raises(ConfigError):
+            ProgramVerifyConfig(levels=1)
+
+
+class TestWrite:
+    def test_targets_validated(self, writer):
+        with pytest.raises(ProgrammingError):
+            writer.write(np.array([300.0]))
+        with pytest.raises(ProgrammingError):
+            writer.write(np.array([-1.0]))
+
+    def test_converges_with_default_noise(self, writer):
+        targets = np.random.default_rng(0).integers(0, 255, size=(16, 16))
+        result = writer.write(targets)
+        assert result.convergence_rate > 0.95
+        assert result.achieved_levels.shape == (16, 16)
+
+    def test_achieved_near_targets(self, writer):
+        targets = np.full((16, 16), 128.0)
+        result = writer.write(targets)
+        errors = result.level_errors(targets)
+        # Converged cells verified within tolerance + read noise slack.
+        cfg = writer.config
+        slack = cfg.tolerance_levels + 4 * cfg.read_std_levels
+        assert np.abs(errors[result.converged]).max() <= slack
+
+    def test_multiple_pulses_needed_on_average(self, writer):
+        targets = np.full(1000, 100.0)
+        result = writer.write(targets)
+        # write_std 1.5 vs tolerance 1.0: acceptance < 1, so mean > 1.
+        assert result.mean_pulses_per_cell > 1.0
+
+    def test_noiseless_writer_single_pulse(self):
+        cfg = ProgramVerifyConfig(write_std_levels=0.0, read_std_levels=0.0)
+        result = ProgramVerifyWriter(cfg, seed=0).write(np.arange(255.0))
+        assert result.total_pulses == 255
+        assert result.convergence_rate == 1.0
+        assert np.array_equal(result.achieved_levels, np.arange(255.0))
+
+    def test_impossible_tolerance_hits_iteration_cap(self):
+        cfg = ProgramVerifyConfig(
+            write_std_levels=50.0, tolerance_levels=0.1, max_iterations=4
+        )
+        result = ProgramVerifyWriter(cfg, seed=0).write(np.full(200, 128.0))
+        assert result.pulses.max() == 4
+        assert result.convergence_rate < 0.5
+
+    def test_seeded_repeatability(self):
+        targets = np.random.default_rng(1).integers(0, 255, size=64)
+        a = ProgramVerifyWriter(seed=9).write(targets)
+        b = ProgramVerifyWriter(seed=9).write(targets)
+        assert np.array_equal(a.achieved_levels, b.achieved_levels)
+        assert np.array_equal(a.pulses, b.pulses)
+
+    def test_energy_accounts_pulses_and_reads(self, writer):
+        result = writer.write(np.full(10, 100.0))
+        cfg = writer.config
+        expected = (
+            result.total_pulses * cfg.write_energy_j
+            + result.total_reads * cfg.read_energy_j
+        )
+        assert result.energy_j == pytest.approx(expected)
+
+    def test_one_read_per_pulse(self, writer):
+        result = writer.write(np.full(100, 50.0))
+        assert result.total_reads == result.total_pulses
+
+
+class TestExpectedPulses:
+    def test_matches_monte_carlo(self):
+        writer = ProgramVerifyWriter(seed=3)
+        targets = np.full(20000, 128.0)
+        result = writer.write(targets)
+        assert result.mean_pulses_per_cell == pytest.approx(
+            writer.expected_pulses_per_cell(), rel=0.05
+        )
+
+    def test_noiseless_expectation_is_one(self):
+        cfg = ProgramVerifyConfig(write_std_levels=0.0, read_std_levels=0.0)
+        assert ProgramVerifyWriter(cfg).expected_pulses_per_cell() == 1.0
+
+    def test_tighter_tolerance_needs_more_pulses(self):
+        loose = ProgramVerifyWriter(ProgramVerifyConfig(tolerance_levels=2.0))
+        tight = ProgramVerifyWriter(ProgramVerifyConfig(tolerance_levels=0.5))
+        assert (
+            tight.expected_pulses_per_cell() > loose.expected_pulses_per_cell()
+        )

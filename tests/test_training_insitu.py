@@ -1,0 +1,202 @@
+"""Tests for in-situ photonic backpropagation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import TridentAccelerator
+from repro.arch.config import TridentConfig
+from repro.devices.noise import NoiseModel
+from repro.errors import MappingError, ShapeError
+from repro.nn.datasets import Dataset, make_blobs, standardize
+from repro.nn.reference import DigitalMLP, cross_entropy_loss
+from repro.training.insitu import InSituTrainer
+
+
+def make_accelerator(dims, seed=0, noise=None):
+    acc = TridentAccelerator(noise=noise)
+    acc.map_mlp(dims)
+    mlp = DigitalMLP(dims, activation="gst", seed=seed)
+    acc.set_weights([w.copy() for w in mlp.weights])
+    return acc, mlp
+
+
+@pytest.fixture
+def blob_data():
+    data = make_blobs(n_samples=240, n_features=8, n_classes=3, spread=0.7, seed=1)
+    data = Dataset(x=np.clip(standardize(data.x) / 3, -1, 1), y=data.y)
+    return data.split(0.8, seed=0)
+
+
+class TestConstruction:
+    def test_requires_mapped_network(self):
+        with pytest.raises(MappingError):
+            InSituTrainer(TridentAccelerator())
+
+    def test_rejects_tiled_layers(self):
+        acc = TridentAccelerator()
+        acc.map_mlp([40, 24, 4])  # multi-tile layers
+        with pytest.raises(MappingError):
+            InSituTrainer(acc)
+
+    def test_rejects_bad_lr(self):
+        acc, _ = make_accelerator([8, 4])
+        with pytest.raises(MappingError):
+            InSituTrainer(acc, lr=0.0)
+
+
+class TestGradientFidelity:
+    def test_photonic_gradients_match_digital(self):
+        """The three photonic passes must reproduce Eqs. (1)-(3) up to
+        quantization error."""
+        dims = [8, 10, 4]
+        acc, mlp = make_accelerator(dims, seed=3)
+        trainer = InSituTrainer(acc, lr=0.1)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 8)
+        label = 2
+
+        logits_hw = acc.forward(x, record=True)
+        _, grad = cross_entropy_loss(logits_hw[None, :], np.array([label]))
+        grads_hw = trainer.backward_sample(grad[0])
+
+        grads_ref = mlp.gradients(x[None, :], grad).weights
+        for g_hw, g_ref in zip(grads_hw, grads_ref):
+            assert g_hw.shape == g_ref.shape
+            assert np.max(np.abs(g_hw - g_ref)) < 0.05
+
+    def test_backward_requires_recorded_forward(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        with pytest.raises(MappingError):
+            trainer.backward_sample(np.zeros(4))
+
+    def test_backward_shape_checked(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        acc.forward(np.zeros(8), record=True)
+        with pytest.raises(ShapeError):
+            trainer.backward_sample(np.zeros(5))
+
+
+class TestTrainStep:
+    def test_reduces_loss(self, blob_data):
+        train, _ = blob_data
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        xb, yb = train.x[:32], train.y[:32]
+        first = trainer.train_step(xb, yb)
+        for _ in range(8):
+            last = trainer.train_step(xb, yb)
+        assert last < first
+
+    def test_weights_stay_on_quantized_grid(self, blob_data):
+        """After an update the programmed weights are re-quantized — the
+        8-bit constraint the paper's training argument hinges on."""
+        train, _ = blob_data
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        trainer.train_step(train.x[:16], train.y[:16])
+        for layer, pe_index in zip(acc.layers, range(len(acc.pes))):
+            bank = acc.pes[layer.tiles[0][4]].bank
+            realized = bank.realized_weights[: layer.out_dim, : layer.in_dim]
+            levels = (realized + 1) / 2 * (bank.levels - 1)
+            assert np.allclose(levels, np.rint(levels), atol=1e-6)
+
+    def test_batch_shape_mismatch_rejected(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        with pytest.raises(ShapeError):
+            trainer.train_step(np.zeros((4, 8)), np.zeros(3, dtype=int))
+
+    def test_hardware_events_accumulate(self, blob_data):
+        train, _ = blob_data
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        trainer.train_step(train.x[:8], train.y[:8])
+        # Training is write-heavy: every sample reprograms banks for the
+        # backward modes and the inter-sample weight restore.
+        assert acc.counters.bank_writes > 8
+        assert acc.counters.mode_switches > 0
+        assert acc.energy_estimate_j() > 0
+
+
+class TestEndToEnd:
+    def test_learns_blobs_to_high_accuracy(self, blob_data):
+        train, test = blob_data
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        from repro.training.trainer import train_classifier
+
+        hist = train_classifier(trainer, train, test, epochs=6, batch_size=16)
+        assert hist.final_test_accuracy > 0.85
+
+    def test_tracks_digital_twin(self, blob_data):
+        """In-situ training must land close to an identically-initialized
+        digital run (the no-mismatch property)."""
+        train, test = blob_data
+        dims = [8, 12, 3]
+        acc, _ = make_accelerator(dims, seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        digital = DigitalMLP(dims, activation="gst", seed=2)
+        from repro.training.trainer import train_classifier
+
+        class Wrap:
+            def train_step(self, x, y):
+                return digital.train_step(x, y, lr=0.3)
+
+            def accuracy(self, x, y):
+                return digital.accuracy(x, y)
+
+        h_hw = train_classifier(trainer, train, test, epochs=5, batch_size=16)
+        h_dig = train_classifier(Wrap(), train, test, epochs=5, batch_size=16)
+        assert abs(h_hw.final_test_accuracy - h_dig.final_test_accuracy) < 0.1
+
+    def test_training_with_noise_still_learns(self, blob_data):
+        train, test = blob_data
+        acc, _ = make_accelerator([8, 12, 3], seed=2, noise=NoiseModel.realistic(seed=6))
+        trainer = InSituTrainer(acc, lr=0.3)
+        from repro.training.trainer import train_classifier
+
+        hist = train_classifier(trainer, train, test, epochs=6, batch_size=16)
+        assert hist.final_test_accuracy > 0.8
+
+    def test_weights_property_returns_copies(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        ws = trainer.weights
+        ws[0][:] = 99.0
+        assert not np.allclose(trainer.weights[0], 99.0)
+
+
+class TestWriteCostLaw:
+    def test_bank_writes_follow_closed_form(self, blob_data):
+        """Functional training's write count obeys the analytical law the
+        latency model charges: per batch of B samples on an L-layer MLP,
+        (B-1)*L weight restores + B*(L outer products + (L-1) gradient
+        programs) + L update reprograms."""
+        train, _ = blob_data
+        for B in (1, 4, 9):
+            acc, _ = make_accelerator([8, 12, 3], seed=2)
+            trainer = InSituTrainer(acc, lr=0.1)
+            L = len(acc.layers)
+            base = acc.counters.bank_writes
+            trainer.train_step(train.x[:B], train.y[:B])
+            got = acc.counters.bank_writes - base
+            predicted = (B - 1) * L + B * (L + (L - 1)) + L
+            assert got == predicted, (B, got, predicted)
+
+    def test_symbols_follow_closed_form(self, blob_data):
+        """Symbols per batch: B forward symbols per layer + B gradient
+        symbols per hidden layer + B outer-product streams (one symbol per
+        delta element)."""
+        train, _ = blob_data
+        B = 5
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.1)
+        base = acc.counters.symbols
+        trainer.train_step(train.x[:B], train.y[:B])
+        got = acc.counters.symbols - base
+        # forward: 2 layers -> 2B; gradient: 1 hidden -> B;
+        # outer: layer1 streams len(delta1)=3, layer0 streams len(delta0)=12.
+        predicted = 2 * B + B + B * (3 + 12)
+        assert got == predicted
