@@ -9,11 +9,20 @@ CNN-scale energy/latency analysis lives in :mod:`repro.dataflow` — same
 device parameters, analytical roll-up.
 
 Analog range management: every vector entering a bank is normalized into
-[-1, 1] (the E/O encoder's range) and every weight matrix is normalized to
-unit max before quantization; the control unit tracks the scales and
-restores them after detection.  Because the GST activation is positively
-homogeneous (slope * max(0, h)), normalization commutes with it and the
-chain stays exact up to quantization + noise.
+[-1, 1] (the E/O encoder's range) and weight matrices are rescaled into
+[-1, 1] *only when their peak magnitude exceeds 1* — a sub-unit-peak matrix
+is programmed as-is (scale 1).  The control unit tracks the scales and
+restores them after detection.  Consequence for precision: a layer's
+effective quantization step in true-weight units is ``weight_step *
+weight_scale``, so small-magnitude layers keep the full-range step
+(2 / (levels - 1)) and use only a fraction of the level grid, rather than
+being stretched to unit max for a finer step.  Because the GST activation
+is positively homogeneous (slope * max(0, h)), normalization commutes with
+it and the chain stays exact up to quantization + noise.
+
+Event accounting rule: ``counters.symbols`` counts streamed input vectors
+*per bank* — one symbol per tile a sample's vector enters, in every
+execution path — so it always equals the PEs' merged ``BankStats.symbols``.
 """
 
 from __future__ import annotations
@@ -51,6 +60,26 @@ class EventCounters:
             mode_switches=self.mode_switches,
         )
 
+    def diff(self, earlier: "EventCounters") -> "EventCounters":
+        """Counters accumulated since ``earlier`` (self - earlier)."""
+        return EventCounters(
+            bank_writes=self.bank_writes - earlier.bank_writes,
+            cells_written=self.cells_written - earlier.cells_written,
+            symbols=self.symbols - earlier.symbols,
+            activation_events=self.activation_events - earlier.activation_events,
+            mode_switches=self.mode_switches - earlier.mode_switches,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stable key order) for reports and profiling."""
+        return {
+            "bank_writes": self.bank_writes,
+            "cells_written": self.cells_written,
+            "symbols": self.symbols,
+            "activation_events": self.activation_events,
+            "mode_switches": self.mode_switches,
+        }
+
 
 @dataclass
 class MappedLayer:
@@ -66,9 +95,13 @@ class MappedLayer:
     weights: np.ndarray | None = None
     #: Scale dividing the true weights into [-1, 1].
     weight_scale: float = 1.0
-    #: Forward-pass bookkeeping for training.
+    #: Forward-pass bookkeeping for training (per-sample path).
     last_input: np.ndarray | None = None
     last_logits: np.ndarray | None = None
+    #: Forward-pass bookkeeping for batched training: (B, in_dim) inputs and
+    #: (B, out_dim) true-unit logits of the last recorded forward_batch.
+    last_input_batch: np.ndarray | None = None
+    last_logits_batch: np.ndarray | None = None
 
 
 class TridentAccelerator:
@@ -163,6 +196,9 @@ class TridentAccelerator:
                 f"layer {layer.index} expects weights "
                 f"({layer.out_dim}, {layer.in_dim}), got {weights.shape}"
             )
+        # Rescale only over-range matrices; a sub-unit-peak matrix keeps
+        # scale 1 and therefore the full-range quantization step (module
+        # docstring, "Analog range management").
         peak = float(np.max(np.abs(weights))) if weights.size else 0.0
         scale = peak if peak > 1.0 else 1.0
         norm = weights / scale
@@ -196,6 +232,8 @@ class TridentAccelerator:
                 raise MappingError(f"layer {layer.index} has no programmed weights")
             if record:
                 layer.last_input = value.copy()
+                layer.last_input_batch = None
+                layer.last_logits_batch = None
             enc = RangeNormalizer.normalize(value)
             logits_norm = np.zeros(layer.out_dim, dtype=np.float64)
             single_tile = len(layer.tiles) == 1
@@ -207,6 +245,8 @@ class TridentAccelerator:
                     capture_derivative=single_tile,
                 )
                 logits_norm[r0:r1] += part
+                # One streamed symbol per bank the vector enters (module
+                # docstring accounting rule).
                 self.counters.symbols += 1
             logits = logits_norm * enc.scale * layer.weight_scale
             if record:
@@ -223,23 +263,24 @@ class TridentAccelerator:
                 value = logits
         return value
 
-    def forward_batch(self, xs: np.ndarray) -> np.ndarray:
-        """Forward a (B, n_in) batch.
+    def forward_batch(self, xs: np.ndarray, record: bool = False) -> np.ndarray:
+        """Forward a (B, n_in) batch through the mapped network.
 
-        When every layer fits a single PE tile the batch streams through
-        each bank as one vectorized ``matmat`` call (one symbol per sample
-        per layer — the physical streaming mode); tiled networks fall back
-        to the per-sample path.  Both paths produce identical results for
-        noise-free hardware; with noise enabled they differ only in draw
-        order.
+        Every layer — single-tile or tiled — streams as blocked ``matmat``
+        calls: each tile's bank receives its (cols_used, B) input slab in
+        one vectorized pass and the detected partial sums accumulate across
+        row/column tiles electronically, exactly as the per-sample path
+        does one sample at a time.  Batched and per-sample execution
+        produce identical outputs for noise-free hardware and identical
+        :class:`EventCounters` always; with noise enabled they differ only
+        in draw order.  With ``record`` each layer keeps its (B, in_dim)
+        inputs and (B, out_dim) logits for a batched training step.
         """
         xs = np.asarray(xs, dtype=np.float64)
         if xs.ndim != 2:
             raise ShapeError(f"expected a 2-D batch, got shape {xs.shape}")
         if not self.layers:
             raise MappingError("map a network before calling forward_batch()")
-        if any(len(layer.tiles) != 1 for layer in self.layers):
-            return np.stack([self.forward(row) for row in xs])
         if xs.shape[1] != self.layers[0].in_dim:
             raise ShapeError(
                 f"batch width {xs.shape[1]} != ({self.layers[0].in_dim},)"
@@ -251,15 +292,29 @@ class TridentAccelerator:
         for layer in self.layers:
             if layer.weights is None:
                 raise MappingError(f"layer {layer.index} has no programmed weights")
+            if record:
+                layer.last_input = None
+                layer.last_logits = None
+                layer.last_input_batch = value.T.copy()
             # Per-sample encode scales (the E/O stage normalizes each
             # sample independently).
-            scales = np.maximum(np.max(np.abs(value), axis=0), 1.0)
-            pe = self.pes[layer.tiles[0][4]]
-            diff = pe.bank.matmat(value / scales)
-            logits = pe.bpd.detect_normalized(diff) * scales * layer.weight_scale
-            self.counters.symbols += batch
+            enc, scales = RangeNormalizer.normalize_columns(value)
+            logits_norm = np.zeros((layer.out_dim, batch), dtype=np.float64)
+            single_tile = len(layer.tiles) == 1
+            for r0, r1, c0, c1, pe_index in layer.tiles:
+                pe = self.pes[pe_index]
+                part = pe.forward_batch(
+                    enc[c0:c1], capture_derivative=single_tile
+                )
+                logits_norm[r0:r1] += part
+                # B streamed symbols per bank the slab enters — the same
+                # per-bank rule as the per-sample path (module docstring).
+                self.counters.symbols += batch
+            logits = logits_norm * scales * layer.weight_scale
+            if record:
+                layer.last_logits_batch = logits.T.copy()
             if layer.apply_activation:
-                cell = pe.activation
+                cell = self.pes[layer.tiles[0][4]].activation
                 before = cell.firing_events
                 value = cell.fire(logits)
                 self.counters.activation_events += cell.firing_events - before
@@ -284,12 +339,15 @@ class TridentAccelerator:
         return stats.write_energy_j + stats.symbols * symbol_energy + reset
 
     def time_estimate_s(self) -> float:
-        """Serialized wall-clock estimate: writes + symbol streaming."""
+        """Serialized wall-clock estimate: writes + symbol streaming.
+
+        Uses the banks' *recorded* ``write_time_s`` — which includes the
+        extra rounds iterative program-and-verify writes consume — rather
+        than recomputing ``write_events x write_time()`` (which would drop
+        them).
+        """
         stats = self.bank_stats()
-        return (
-            stats.write_events * self.config.tuning.write_time()
-            + stats.symbols / self.config.symbol_rate_hz
-        )
+        return stats.write_time_s + stats.symbols / self.config.symbol_rate_hz
 
     def bank_stats(self) -> BankStats:
         """Merged programming/usage counters across all PEs."""

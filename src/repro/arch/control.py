@@ -95,6 +95,25 @@ class RangeNormalizer:
         return NormalizedVector(values=v / scale, scale=scale)
 
     @staticmethod
+    def normalize_columns(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-column :meth:`normalize` for a (features, B) batch.
+
+        Each column is one sample's laser encoding and gets its own scale
+        (max magnitude, or 1 if already in range), exactly as B sequential
+        ``normalize`` calls would — the batched execution engine's entry
+        point.  Returns ``(normalized, scales)`` with ``scales`` of shape
+        (B,); the original batch is ``normalized * scales``.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        if v.ndim != 2:
+            raise DeviceError(f"expected a (features, B) batch, got shape {v.shape}")
+        if not np.all(np.isfinite(v)):
+            raise DeviceError("cannot encode non-finite values onto the laser array")
+        peaks = np.max(np.abs(v), axis=0) if v.shape[0] else np.zeros(v.shape[1])
+        scales = np.maximum(peaks, 1.0)
+        return v / scales, scales
+
+    @staticmethod
     def clip(values: np.ndarray) -> np.ndarray:
         """Hard-clip to [-1, 1] — what the E/O stage does to overrange data."""
         return np.clip(np.asarray(values, dtype=np.float64), -1.0, 1.0)

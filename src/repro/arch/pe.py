@@ -121,6 +121,27 @@ class ProcessingElement:
             return logits
         return self.activation.fire(logits)
 
+    def forward_batch(
+        self,
+        x: np.ndarray,
+        capture_derivative: bool = True,
+    ) -> np.ndarray:
+        """Batched inference: a (cols_used, B) slab streams in one pass.
+
+        Returns the detected (rows_used, B) logits in normalized units.
+        Activation firing happens at the accelerator level after partial
+        sums from all of a layer's tiles have accumulated, so this method
+        never fires the cell.  With ``capture_derivative`` the LDSU latches
+        the whole batch's bit plane (see :meth:`LDSU.capture_batch`).
+        """
+        diff = self.bank.matmat(x)
+        logits = self.bpd.detect_normalized(diff)
+        if capture_derivative:
+            padded = np.zeros((self.bank.rows, x.shape[1]), dtype=np.float64)
+            padded[: logits.shape[0]] = logits
+            self.ldsu.capture_batch(padded)
+        return logits
+
     # ------------------------------------------------------------------
     # Mode 2: gradient vector (Table II column 2)
     # ------------------------------------------------------------------
@@ -134,6 +155,20 @@ class ProcessingElement:
         diff = self.bank.matvec(delta_next)
         detected = self.bpd.detect_normalized(diff)
         gains = self.ldsu.derivative_gains()[: detected.shape[0]]
+        return detected * gains
+
+    def gradient_vector_batch(self, delta_next: np.ndarray) -> np.ndarray:
+        """Batched Eq. (3): one (cols_used, B) slab of deltas in one pass.
+
+        The bank holds W_{k+1}^T once for the whole batch (the grouped
+        reprogramming that makes batched training O(layers) writes for
+        this step instead of O(layers x batch)); the per-sample Hadamard
+        comes from the LDSU's batched bit plane captured during the
+        batched forward pass.  Returns (rows_used, B).
+        """
+        diff = self.bank.matmat(delta_next)
+        detected = self.bpd.detect_normalized(diff)
+        gains = self.ldsu.derivative_gains_batch()[: detected.shape[0]]
         return detected * gains
 
     # ------------------------------------------------------------------
@@ -163,6 +198,55 @@ class ProcessingElement:
         streamed = self.bank.matmat(np.diag(delta_h))  # (len(y), len(d))
         detected = self.bpd.detect_normalized(streamed)
         return detected.T  # (len(d), len(y)) == dW block
+
+    def outer_product_batch(
+        self, delta_h: np.ndarray, y_prev: np.ndarray
+    ) -> np.ndarray:
+        """Emulate B per-sample :meth:`outer_product` calls in one pass.
+
+        ``delta_h`` is (B, d) and ``y_prev`` is (B, y), both normalized.
+        Physically each sample still programs the bank column-constant with
+        its own y_{k-1} and streams its delta_k, so the hardware cost —
+        B programming events of y*d cells and B*d symbols — is charged to
+        the bank's stats exactly as B sequential calls would be; only the
+        Python-side arithmetic is collapsed to one array pass, through the
+        same quantization + programming-noise model.  Results are identical
+        to the per-sample path for noise-free hardware (with noise they
+        differ in draw order/shape).  The bank's realized state is left
+        untouched; callers reprogram the forward weights afterwards anyway.
+        Returns the (B, d, y) detected gradient blocks.
+        """
+        delta_h = np.atleast_2d(np.asarray(delta_h, dtype=np.float64))
+        y_prev = np.atleast_2d(np.asarray(y_prev, dtype=np.float64))
+        if delta_h.shape[0] != y_prev.shape[0]:
+            raise ShapeError(
+                f"batch mismatch: {delta_h.shape[0]} deltas vs "
+                f"{y_prev.shape[0]} layer inputs"
+            )
+        batch, d = delta_h.shape
+        y = y_prev.shape[1]
+        if y > self.bank.rows:
+            raise ShapeError(
+                f"y_prev width {y} exceeds bank rows {self.bank.rows}"
+            )
+        if d > self.bank.cols:
+            raise ShapeError(
+                f"delta_h width {d} exceeds bank cols {self.bank.cols}"
+            )
+        if np.any(np.abs(delta_h) > 1.0 + 1e-9):
+            raise ShapeError("delta_h must lie in [-1, 1] (normalize first)")
+        realized_y = self.bank.realize_virtually(y_prev)  # (B, y)
+        # matmat(diag(delta)) on a column-constant bank reduces to the outer
+        # product scaled by the crosstalk column sums (identity -> ones).
+        if self.bank.crosstalk is not None:
+            colsum = self.bank.crosstalk[:d, :d].sum(axis=0)
+        else:
+            colsum = np.ones(d)
+        streamed = realized_y[:, :, None] * (delta_h * colsum)[:, None, :]
+        detected = self.bpd.detect_normalized(streamed)  # (B, y, d)
+        self.bank.account_writes(batch, y * d)
+        self.bank.account_symbols(batch * d)
+        return detected.transpose(0, 2, 1)  # (B, d, y)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,187 @@
+"""Lightweight instrumentation for functional runs.
+
+Wrap any region of functional execution in a :class:`Profiler` context and
+get back a :class:`ProfileReport`: the region's wall-clock time plus the
+hardware events (streamed symbols, bank writes, cells, write energy/time)
+it generated, attributed per PE and per mapped layer.  The counters come
+from deltas of the accelerator's :class:`~repro.arch.accelerator.
+EventCounters` and each PE's :class:`~repro.arch.weight_bank.BankStats`
+snapshots, so profiling adds no bookkeeping to the hot paths themselves —
+the speedup of the batched execution engine is *measured*, not asserted.
+
+Usage::
+
+    with Profiler(acc) as prof:
+        acc.forward_batch(xs)
+    print(prof.report.render())
+
+The CLI's ``profile`` subcommand and
+``benchmarks/bench_functional_batch_scaling.py`` are the main consumers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.arch.accelerator import EventCounters, TridentAccelerator
+from repro.arch.weight_bank import BankStats
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PEProfile:
+    """Hardware events one PE accumulated inside a profiled region."""
+
+    pe_index: int
+    symbols: int
+    write_events: int
+    cells_written: int
+    write_energy_j: float
+    write_time_s: float
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Aggregate of a mapped layer's tile PEs inside a profiled region."""
+
+    layer_index: int
+    n_tiles: int
+    symbols: int
+    write_events: int
+    cells_written: int
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Wall time + event deltas of one profiled region."""
+
+    wall_time_s: float
+    counters: EventCounters
+    per_pe: tuple[PEProfile, ...]
+    per_layer: tuple[LayerProfile, ...]
+
+    @property
+    def symbols_per_second(self) -> float:
+        """Streamed symbols per wall-clock second (simulator throughput)."""
+        if self.wall_time_s <= 0.0:
+            return float("inf") if self.counters.symbols else 0.0
+        return self.counters.symbols / self.wall_time_s
+
+    def render(self, title: str = "profiled region") -> str:
+        """Human-readable report: totals, per-layer, busy per-PE rows."""
+        # Imported lazily: repro.eval pulls the table/figure generators,
+        # which themselves import repro.arch.
+        from repro.eval.formatting import format_table
+
+        lines = [
+            f"{title}: {self.wall_time_s * 1e3:.3f} ms wall, "
+            f"{self.counters.symbols} symbols "
+            f"({self.symbols_per_second:.3g} symbols/s), "
+            f"{self.counters.bank_writes} bank writes, "
+            f"{self.counters.activation_events} activation events"
+        ]
+        if self.per_layer:
+            rows = [
+                [p.layer_index, p.n_tiles, p.symbols, p.write_events, p.cells_written]
+                for p in self.per_layer
+            ]
+            lines.append(
+                format_table(
+                    ["layer", "tiles", "symbols", "writes", "cells"], rows
+                )
+            )
+        busy = [p for p in self.per_pe if p.symbols or p.write_events]
+        if busy:
+            rows = [
+                [
+                    p.pe_index,
+                    p.symbols,
+                    p.write_events,
+                    p.cells_written,
+                    p.write_energy_j,
+                    p.write_time_s,
+                ]
+                for p in busy
+            ]
+            lines.append(
+                format_table(
+                    ["PE", "symbols", "writes", "cells", "write J", "write s"],
+                    rows,
+                )
+            )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Context manager measuring one accelerator's events and wall time.
+
+    Snapshots the event counters and every PE's bank stats on entry and
+    diffs them on exit; PEs created inside the region (a remap) start from
+    a zero baseline.  The finished :class:`ProfileReport` is available as
+    :attr:`report` after the ``with`` block exits.
+    """
+
+    def __init__(self, accelerator: TridentAccelerator) -> None:
+        self.acc = accelerator
+        self._report: ProfileReport | None = None
+        self._t0 = 0.0
+        self._counters0: EventCounters | None = None
+        self._bank0: dict[int, BankStats] = {}
+
+    def __enter__(self) -> "Profiler":
+        """Snapshot counters and start the wall clock."""
+        self._report = None
+        self._counters0 = self.acc.counters.snapshot()
+        self._bank0 = {
+            i: pe.bank.stats.merge(BankStats()) for i, pe in enumerate(self.acc.pes)
+        }
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stop the clock and build the report (skipped on exception)."""
+        wall = time.perf_counter() - self._t0
+        if exc_type is not None:
+            return False
+        per_pe = []
+        for i, pe in enumerate(self.acc.pes):
+            base = self._bank0.get(i, BankStats())
+            s = pe.bank.stats
+            per_pe.append(
+                PEProfile(
+                    pe_index=i,
+                    symbols=s.symbols - base.symbols,
+                    write_events=s.write_events - base.write_events,
+                    cells_written=s.cells_written - base.cells_written,
+                    write_energy_j=s.write_energy_j - base.write_energy_j,
+                    write_time_s=s.write_time_s - base.write_time_s,
+                )
+            )
+        per_layer = []
+        for layer in self.acc.layers:
+            pe_indexes = [t[4] for t in layer.tiles]
+            tiles = [per_pe[i] for i in pe_indexes if i < len(per_pe)]
+            per_layer.append(
+                LayerProfile(
+                    layer_index=layer.index,
+                    n_tiles=len(layer.tiles),
+                    symbols=sum(p.symbols for p in tiles),
+                    write_events=sum(p.write_events for p in tiles),
+                    cells_written=sum(p.cells_written for p in tiles),
+                )
+            )
+        self._report = ProfileReport(
+            wall_time_s=wall,
+            counters=self.acc.counters.diff(self._counters0),
+            per_pe=tuple(per_pe),
+            per_layer=tuple(per_layer),
+        )
+        return False
+
+    @property
+    def report(self) -> ProfileReport:
+        """The finished report; raises if the region has not exited yet."""
+        if self._report is None:
+            raise ConfigError("profiled region has not finished (exit the context)")
+        return self._report

@@ -16,6 +16,15 @@ What the bank models:
 - **WDM crosstalk**: optional leakage matrix mixing input channels.
 - **Write accounting**: every programming event's energy/time/cell count,
   plus hold energy for volatile tuning technologies.
+
+State invariant: ``_levels`` always tracks the *physical* level of every
+ring — stuck cells show their stuck level whether or not they sit inside the
+programmed block.  ``_realized`` is the MVM-coupled weight: the dequantized
+level inside the programmed block and 0.0 outside it, because the control
+unit routes no input wavelength onto unused columns and terminates no
+detector on unused rows.  Off-block stuck rings therefore do **not**
+attenuate light in this model (crosstalk leakage onto unused channels is
+below the model's fidelity); ``_mask`` marks block membership.
 """
 
 from __future__ import annotations
@@ -143,13 +152,14 @@ class WeightBank:
         self._mask[:r, :c] = True
 
         if self._stuck_mask.any():
-            # Failed cells ignore the write and hold their stuck level.
+            # Failed cells ignore the write and hold their stuck level.  The
+            # level array keeps the physical state for every stuck ring; the
+            # MVM-coupled weight is only overridden inside the block (see the
+            # module docstring's state invariant).
             self._levels[self._stuck_mask] = self._stuck_levels[self._stuck_mask]
-            realized_stuck = self._dequantize(
-                self._stuck_levels[self._stuck_mask].astype(np.float64)
-            )
-            self._realized[self._stuck_mask] = np.where(
-                self._mask[self._stuck_mask], realized_stuck, 0.0
+            in_block = self._stuck_mask & self._mask
+            self._realized[in_block] = self._dequantize(
+                self._stuck_levels[in_block].astype(np.float64)
             )
 
         n_cells = r * c
@@ -161,8 +171,19 @@ class WeightBank:
 
     @property
     def realized_weights(self) -> np.ndarray:
-        """Full (rows x cols) realized weight matrix (zeros where unused)."""
+        """Full (rows x cols) MVM-coupled weight matrix.
+
+        Zeros outside the programmed block — unused columns carry no input
+        wavelength and unused rows terminate no detector, so off-block cells
+        (stuck or not) never weight light.  See :attr:`physical_levels` for
+        the physical ring state.
+        """
         return self._realized.copy()
+
+    @property
+    def physical_levels(self) -> np.ndarray:
+        """Physical per-ring levels (copy), including off-block stuck cells."""
+        return self._levels.copy()
 
     @property
     def occupancy(self) -> tuple[int, int]:
@@ -220,6 +241,48 @@ class WeightBank:
         return self._realized[:r] @ eff
 
     # ------------------------------------------------------------------
+    def realize_virtually(self, weights: np.ndarray) -> np.ndarray:
+        """Quantized + programming-noise view of ``weights`` (any shape).
+
+        Applies exactly the level snap and write noise :meth:`program`
+        would, but touches neither the bank state nor the accounting.
+        Batched emulation paths (e.g. the vectorized outer product, which
+        physically re-programs the bank once per sample) use this together
+        with :meth:`account_writes` so the arithmetic stays one array pass
+        while the event accounting matches the per-sample hardware schedule.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(np.abs(w) > 1.0 + 1e-9):
+            raise ProgrammingError("weights must lie in [-1, 1] (normalize first)")
+        levels = self._quantize(w)
+        noisy = self.noise.apply_programming_noise(levels, self.programming_noise_levels)
+        return self._dequantize(np.clip(noisy, 0, self.levels - 1))
+
+    def account_writes(self, events: int, cells_per_event: int) -> None:
+        """Charge ``events`` parallel programming operations to the stats.
+
+        Each event writes ``cells_per_event`` cells.  Used when a batched
+        path emulates per-sample reprogramming arithmetically (see
+        :meth:`realize_virtually`); the energy/time/cell accounting is
+        identical to ``events`` real :meth:`program` calls.
+        """
+        if events < 0 or cells_per_event < 0:
+            raise ProgrammingError("write accounting takes non-negative counts")
+        self.stats.write_events += events
+        self.stats.cells_written += events * cells_per_event
+        self.stats.write_energy_j += events * self.tuning.write_energy(cells_per_event)
+        self.stats.write_time_s += events * self.tuning.write_time()
+
+    def account_symbols(self, n_symbols: int) -> None:
+        """Charge ``n_symbols`` streamed input vectors to the stats.
+
+        Companion of :meth:`account_writes` for emulated streaming.
+        """
+        if n_symbols < 0:
+            raise ProgrammingError("symbol accounting takes non-negative counts")
+        self.stats.symbols += n_symbols
+
+    # ------------------------------------------------------------------
     def hold_energy(self, duration_s: float) -> float:
         """Energy to hold the programmed weights for ``duration_s``.
 
@@ -255,9 +318,10 @@ class WeightBank:
         new = (rng.random((self.rows, self.cols)) < fraction) & ~self._stuck_mask
         self._stuck_mask |= new
         self._stuck_levels[new] = level
-        # Apply immediately to the currently programmed block.
+        # Physical state updates everywhere immediately; the MVM-coupled
+        # weight only inside the programmed block (module state invariant).
+        self._levels[new] = level
         apply = new & self._mask
-        self._levels[apply] = level
         self._realized[apply] = self._dequantize(np.float64(level))
         return int(new.sum())
 
@@ -294,14 +358,18 @@ def program_with_verify(
     bank._realized[:r, :c] = bank._dequantize(achieved)
     # Correct the nominal single-pulse accounting to the verify loop's
     # actual cost (extra pulses cost energy and endurance; reads cost
-    # read energy; time grows by the extra write rounds).
+    # read energy; time grows by the extra write rounds).  The round count
+    # is clamped at zero: a loop that needed no pulses at all (targets
+    # already reached) must not *refund* write time the nominal program
+    # already charged.
     extra_pulses = result.total_pulses - r * c
     bank.stats.cells_written += extra_pulses
     bank.stats.write_energy_j += (
         extra_pulses * writer.config.write_energy_j
         + result.total_reads * writer.config.read_energy_j
     )
-    bank.stats.write_time_s += (int(result.pulses.max()) - 1) * bank.tuning.write_time()
+    extra_rounds = max(int(result.pulses.max(initial=0)) - 1, 0)
+    bank.stats.write_time_s += extra_rounds * bank.tuning.write_time()
     return bank._realized[:r, :c].copy(), result
 
 

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``):
     python -m repro compare resnet50 --budget 30
     python -m repro train-plan vgg16 --samples 50000
     python -m repro link-budget --rows 16 --cols 16 --power-mw 1.0
+    python -m repro profile --dims 64 48 10 --batch 256
     python -m repro endurance resnet50
 """
 
@@ -237,6 +238,57 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile batched vs per-sample functional inference on one MLP.
+
+    Maps a random MLP, streams one batch through ``forward_batch`` and then
+    sample-by-sample through ``forward``, each under a
+    :class:`~repro.arch.profiler.Profiler`, and prints both reports plus
+    the wall-clock speedup.  Exits non-zero if the two paths disagree —
+    outputs (noise-free hardware) or event counters — so it doubles as an
+    executable statement of the parity guarantee.
+    """
+    import numpy as np
+
+    from repro.arch import Profiler, TridentAccelerator
+    from repro.errors import ConfigError
+
+    if args.batch < 1:
+        raise ConfigError(f"batch must be positive, got {args.batch}")
+    dims = args.dims
+    rng = np.random.default_rng(args.seed)
+    acc = TridentAccelerator()
+    acc.map_mlp(dims)
+    acc.set_weights(
+        [rng.uniform(-1, 1, (o, i)) for i, o in zip(dims[:-1], dims[1:])]
+    )
+    xs = rng.uniform(-1, 1, (args.batch, dims[0]))
+
+    with Profiler(acc) as prof_batch:
+        out_batch = acc.forward_batch(xs)
+    with Profiler(acc) as prof_sample:
+        out_sample = np.stack([acc.forward(x) for x in xs])
+
+    print(prof_batch.report.render(f"forward_batch (B={args.batch})"))
+    print()
+    print(prof_sample.report.render(f"per-sample forward x{args.batch}"))
+    wall_b = prof_batch.report.wall_time_s
+    wall_s = prof_sample.report.wall_time_s
+    if wall_b > 0:
+        print(f"\nbatched speedup: {wall_s / wall_b:.1f}x")
+
+    outputs_match = bool(np.allclose(out_batch, out_sample))
+    counters_match = (
+        prof_batch.report.counters.as_dict() == prof_sample.report.counters.as_dict()
+    )
+    print(f"outputs match: {outputs_match}")
+    print(f"event counters match: {counters_match}")
+    if not (outputs_match and counters_match):
+        print("PARITY VIOLATION between forward_batch and per-sample forward")
+        return 1
+    return 0
+
+
 def cmd_endurance(args: argparse.Namespace) -> int:
     """PCM wear-out analysis for one model."""
     from repro.analysis import endurance_report
@@ -313,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export", help="write every table/figure as CSV")
     p.add_argument("--dir", default="artifacts")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "profile", help="profile batched vs per-sample functional inference"
+    )
+    p.add_argument("--dims", type=int, nargs="+", default=[64, 48, 10])
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("endurance", help="PCM wear-out analysis for a model")
     p.add_argument("model")

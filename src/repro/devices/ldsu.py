@@ -76,6 +76,7 @@ class LDSU:
     derivative_high: float = 0.34
     power_w: float = 0.09 * MW
     _bits: np.ndarray = field(init=False, repr=False)
+    _batch_bits: np.ndarray | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.n_rows < 1:
@@ -100,15 +101,48 @@ class LDSU:
         self._bits = self.comparator.compare(h)
         return self._bits.copy()
 
+    def capture_batch(self, logits: np.ndarray) -> np.ndarray:
+        """Latch comparator outputs for a (n_rows, B) batch of logit columns.
+
+        One column per streamed sample: the flip-flops latch per symbol and
+        the control unit shifts each sample's bit plane out before the next
+        arrives.  Stores the full (n_rows, B) plane for a batched backward
+        pass and leaves the per-sample flip-flops holding the final column —
+        the state a per-sample sweep of :meth:`capture` would leave behind.
+        """
+        h = np.asarray(logits, dtype=np.float64)
+        if h.ndim != 2 or h.shape[0] != self.n_rows:
+            raise DeviceError(
+                f"expected logits of shape ({self.n_rows}, B), got {h.shape}"
+            )
+        self._batch_bits = self.comparator.compare(h)
+        if h.shape[1]:
+            self._bits = self._batch_bits[:, -1].copy()
+        return self._batch_bits.copy()
+
     @property
     def bits(self) -> np.ndarray:
         """Currently stored bits (copy; storage is not externally mutable)."""
         return self._bits.copy()
 
+    @property
+    def batch_bits(self) -> np.ndarray:
+        """The (n_rows, B) bit plane of the last batched capture (copy)."""
+        if self._batch_bits is None:
+            raise DeviceError("no batched capture has run (call capture_batch)")
+        return self._batch_bits.copy()
+
     def derivative_gains(self) -> np.ndarray:
         """f'(h) per row from the stored bits: derivative_high or 0."""
         return np.where(self._bits, self.derivative_high, 0.0)
 
+    def derivative_gains_batch(self) -> np.ndarray:
+        """f'(h) per row per sample from the last batched capture."""
+        if self._batch_bits is None:
+            raise DeviceError("no batched capture has run (call capture_batch)")
+        return np.where(self._batch_bits, self.derivative_high, 0.0)
+
     def clear(self) -> None:
-        """Reset all flip-flops (between training samples)."""
+        """Reset all flip-flops and drop the batched bit plane."""
         self._bits = np.zeros(self.n_rows, dtype=bool)
+        self._batch_bits = None

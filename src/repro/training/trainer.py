@@ -8,6 +8,7 @@ DigitalMLP` (the paper's "train a digital model first" strawman) and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -36,6 +37,7 @@ class TrainingHistory:
     losses: list[float] = field(default_factory=list)
     train_accuracies: list[float] = field(default_factory=list)
     test_accuracies: list[float] = field(default_factory=list)
+    epoch_times_s: list[float] = field(default_factory=list)
 
     @property
     def final_test_accuracy(self) -> float:
@@ -48,6 +50,11 @@ class TrainingHistory:
     def epochs(self) -> int:
         """Number of recorded epochs."""
         return len(self.losses)
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall-clock time summed over the recorded epochs."""
+        return float(sum(self.epoch_times_s))
 
 
 def train_classifier(
@@ -63,9 +70,11 @@ def train_classifier(
         raise ConfigError(f"epochs must be positive, got {epochs}")
     history = TrainingHistory()
     for epoch in range(epochs):
+        t0 = time.perf_counter()
         epoch_losses = []
         for xb, yb in train.batches(batch_size, seed=seed + epoch):
             epoch_losses.append(model.train_step(xb, yb))
+        history.epoch_times_s.append(time.perf_counter() - t0)
         history.losses.append(float(np.mean(epoch_losses)))
         history.train_accuracies.append(model.accuracy(train.x, train.y))
         history.test_accuracies.append(model.accuracy(test.x, test.y))

@@ -189,6 +189,32 @@ class TestAccounting:
         acc.set_weights([rng.uniform(-1, 1, (16, 16)), rng.uniform(-1, 1, (8, 16))])
         assert acc.bank_stats().write_events == 2
 
+    def test_time_estimate_uses_recorded_write_time(self, rng):
+        """Program-and-verify extra rounds must count: the estimate reads
+        the banks' recorded write_time_s, not write_events x write_time."""
+        from repro.arch.weight_bank import program_with_verify
+        from repro.devices.program_verify import (
+            ProgramVerifyConfig,
+            ProgramVerifyWriter,
+        )
+
+        acc = TridentAccelerator()
+        acc.map_mlp([16, 8])
+        acc.set_weights([rng.uniform(-1, 1, (8, 16))])
+        base = acc.time_estimate_s()
+        cfg = ProgramVerifyConfig(
+            write_std_levels=50.0, tolerance_levels=0.1, max_iterations=4
+        )
+        bank = acc.pes[0].bank
+        _, result = program_with_verify(
+            bank, rng.uniform(-1, 1, (8, 16)), ProgramVerifyWriter(cfg, seed=0)
+        )
+        rounds = int(result.pulses.max())
+        assert rounds > 1
+        assert acc.time_estimate_s() == pytest.approx(
+            base + rounds * bank.tuning.write_time()
+        )
+
 
 class TestForwardBatchFast:
     def test_fast_path_matches_per_sample(self, rng):
@@ -200,13 +226,35 @@ class TestForwardBatchFast:
         slow = np.stack([acc.forward(row) for row in xs])
         assert np.allclose(fast, slow, atol=1e-12)
 
-    def test_tiled_network_falls_back(self, rng):
+    def test_tiled_network_streams_blocked(self, rng):
+        """A tiled network streams as blocked matmats, matching the
+        per-sample path output *and* counters exactly (the tentpole
+        parity guarantee — no per-sample fallback)."""
+        acc = TridentAccelerator()
+        acc.map_mlp([40, 24, 4])
+        assert any(len(layer.tiles) > 1 for layer in acc.layers)
+        acc.set_weights([rng.uniform(-1, 1, (24, 40)), rng.uniform(-1, 1, (4, 24))])
+        xs = rng.uniform(-1, 1, (4, 40))
+        base = acc.counters.snapshot()
+        fast = acc.forward_batch(xs)
+        delta_batch = acc.counters.diff(base)
+        base = acc.counters.snapshot()
+        slow = np.stack([acc.forward(row) for row in xs])
+        delta_sample = acc.counters.diff(base)
+        assert np.allclose(fast, slow, atol=1e-12)
+        assert delta_batch.as_dict() == delta_sample.as_dict()
+
+    def test_counters_match_bank_stats(self, rng):
+        """One symbol rule: the accelerator's symbol counter must equal
+        the banks' own streamed-vector totals in both paths."""
         acc = TridentAccelerator()
         acc.map_mlp([40, 24, 4])
         acc.set_weights([rng.uniform(-1, 1, (24, 40)), rng.uniform(-1, 1, (4, 24))])
-        xs = rng.uniform(-1, 1, (4, 40))
-        out = acc.forward_batch(xs)
-        assert out.shape == (4, 4)
+        acc.forward_batch(rng.uniform(-1, 1, (6, 40)))
+        acc.forward(rng.uniform(-1, 1, 40))
+        assert acc.counters.symbols == acc.bank_stats().symbols
+        assert acc.counters.bank_writes == acc.bank_stats().write_events
+        assert acc.counters.cells_written == acc.bank_stats().cells_written
 
     def test_symbols_counted_per_sample_per_layer(self, rng):
         acc = TridentAccelerator()
@@ -215,6 +263,20 @@ class TestForwardBatchFast:
         before = acc.counters.symbols
         acc.forward_batch(rng.uniform(-1, 1, (8, 10)))
         assert acc.counters.symbols - before == 8 * 2
+
+    def test_symbols_counted_per_bank_when_tiled(self, rng):
+        """Tiled layers stream one symbol per bank a vector enters; the
+        batched and per-sample paths must agree on the total."""
+        acc = TridentAccelerator()
+        acc.map_mlp([40, 24, 4])  # layer0: 2x3 tiles, layer1: 1x2 tiles
+        acc.set_weights([rng.uniform(-1, 1, (24, 40)), rng.uniform(-1, 1, (4, 24))])
+        n_tiles = sum(len(layer.tiles) for layer in acc.layers)
+        before = acc.counters.symbols
+        acc.forward_batch(rng.uniform(-1, 1, (8, 40)))
+        assert acc.counters.symbols - before == 8 * n_tiles
+        before = acc.counters.symbols
+        acc.forward(rng.uniform(-1, 1, 40))
+        assert acc.counters.symbols - before == n_tiles
 
     def test_per_sample_normalization_independent(self, rng):
         """A huge sample must not squash its batch-mates' precision."""

@@ -131,6 +131,76 @@ class TestOuterProduct:
         assert pe.bank.stats.symbols == 6
 
 
+class TestBatchedModes:
+    def test_forward_batch_matches_per_sample(self, rng):
+        w = rng.uniform(-1, 1, (16, 16))
+        xs = rng.uniform(-1, 1, (16, 5))
+        batched_pe = ProcessingElement()
+        batched_pe.program_weights(w)
+        got = batched_pe.forward_batch(xs)
+        single_pe = ProcessingElement()
+        single_pe.program_weights(w)
+        expected = np.stack(
+            [single_pe.forward(xs[:, b], apply_activation=False) for b in range(5)],
+            axis=1,
+        )
+        assert np.allclose(got, expected)
+        assert np.array_equal(batched_pe.ldsu.batch_bits, got > 0)
+        # Same streamed-symbol cost as five per-sample passes.
+        assert batched_pe.bank.stats.symbols == single_pe.bank.stats.symbols
+
+    def test_gradient_vector_batch_matches_per_sample(self, rng):
+        n, B = 16, 4
+        w = rng.uniform(-1, 1, (n, n))
+        x_cols = rng.uniform(-1, 1, (n, B))
+        w_next = rng.uniform(-1, 1, (n, n))
+        deltas = rng.uniform(-1, 1, (n, B))
+
+        pe_b = ProcessingElement()
+        pe_b.program_weights(w)
+        pe_b.forward_batch(x_cols)
+        pe_b.program_weights(w_next.T)
+        got = pe_b.gradient_vector_batch(deltas)
+
+        for b in range(B):
+            pe_s = ProcessingElement()
+            pe_s.program_weights(w)
+            pe_s.forward(x_cols[:, b], apply_activation=False)
+            pe_s.program_weights(w_next.T)
+            assert np.allclose(got[:, b], pe_s.gradient_vector(deltas[:, b]))
+
+    def test_outer_product_batch_matches_per_sample(self, rng):
+        B, d, y = 3, 6, 4
+        deltas = rng.uniform(-1, 1, (B, d))
+        ys = rng.uniform(-1, 1, (B, y))
+        pe_b = ProcessingElement()
+        got = pe_b.outer_product_batch(deltas, ys)
+        assert got.shape == (B, d, y)
+        for b in range(B):
+            pe_s = ProcessingElement()
+            assert np.allclose(got[b], pe_s.outer_product(deltas[b], ys[b]))
+
+    def test_outer_product_batch_charges_per_sample_costs(self, rng):
+        B, d, y = 5, 6, 4
+        pe = ProcessingElement()
+        pe.outer_product_batch(rng.uniform(-1, 1, (B, d)), rng.uniform(-1, 1, (B, y)))
+        # B programming events of y*d cells and B*d symbols — exactly what
+        # B sequential outer_product calls would charge.
+        assert pe.bank.stats.write_events == B
+        assert pe.bank.stats.cells_written == B * d * y
+        assert pe.bank.stats.symbols == B * d
+        assert pe.bank.stats.write_energy_j == pytest.approx(B * d * y * 660e-12)
+
+    def test_outer_product_batch_validation(self, rng):
+        pe = ProcessingElement()
+        with pytest.raises(ShapeError):
+            pe.outer_product_batch(np.zeros((2, 6)), np.zeros((3, 4)))
+        with pytest.raises(ShapeError):
+            pe.outer_product_batch(np.zeros((2, 17)), np.zeros((2, 4)))
+        with pytest.raises(ShapeError):
+            pe.outer_product_batch(np.full((2, 6), 2.0), np.zeros((2, 4)))
+
+
 class TestTIAGains:
     def test_set_and_reset(self, pe):
         gains = np.linspace(0, 1, 16)

@@ -89,6 +89,20 @@ class TestOtherCommands:
         assert code == 0
         assert "activation" in out
 
+    def test_profile_parity_gate(self, run):
+        """The profile command exercises the batched/per-sample parity
+        guarantee end to end and exits 0 only when it holds."""
+        code, out = run("profile", "--dims", "20", "12", "3", "--batch", "8")
+        assert code == 0
+        assert "outputs match: True" in out
+        assert "event counters match: True" in out
+        assert "symbols" in out
+
+    def test_profile_tiled_network(self, run):
+        code, out = run("profile", "--dims", "40", "24", "4", "--batch", "4")
+        assert code == 0
+        assert "PARITY VIOLATION" not in out
+
 
 class TestReport:
     def test_report_summarizes_everything(self, run):

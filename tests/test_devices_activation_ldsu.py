@@ -177,3 +177,44 @@ class TestLDSU:
 
     def test_power_matches_table3(self):
         assert LDSU().power_w == pytest.approx(0.09e-3)
+
+
+class TestLDSUBatch:
+    def test_capture_batch_matches_per_sample_sweep(self):
+        ldsu = LDSU(n_rows=3)
+        logits = np.array([[1.0, -1.0], [-0.5, 0.5], [0.0, 2.0]])
+        plane = ldsu.capture_batch(logits)
+        for b in range(2):
+            single = LDSU(n_rows=3)
+            assert np.array_equal(single.capture(logits[:, b]), plane[:, b])
+        # Flip-flops end up holding the final column, exactly as a
+        # per-sample sweep would leave them.
+        assert np.array_equal(ldsu.bits, plane[:, -1])
+
+    def test_derivative_gains_batch(self):
+        ldsu = LDSU(n_rows=2)
+        ldsu.capture_batch(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert np.allclose(
+            ldsu.derivative_gains_batch(), [[0.34, 0.0], [0.0, 0.34]]
+        )
+
+    def test_batch_state_requires_capture(self):
+        ldsu = LDSU(n_rows=2)
+        with pytest.raises(DeviceError):
+            ldsu.batch_bits
+        with pytest.raises(DeviceError):
+            ldsu.derivative_gains_batch()
+
+    def test_capture_batch_rejects_wrong_shape(self):
+        ldsu = LDSU(n_rows=4)
+        with pytest.raises(DeviceError):
+            ldsu.capture_batch(np.zeros((3, 5)))
+        with pytest.raises(DeviceError):
+            ldsu.capture_batch(np.zeros(4))
+
+    def test_clear_drops_batch_plane(self):
+        ldsu = LDSU(n_rows=2)
+        ldsu.capture_batch(np.ones((2, 3)))
+        ldsu.clear()
+        with pytest.raises(DeviceError):
+            ldsu.batch_bits

@@ -72,6 +72,31 @@ class TestInjection:
         # Cells outside the programmed block stay at 0 in the MVM view.
         assert np.all(bank.realized_weights[4:, :] == 0.0)
 
+    def test_physical_levels_track_stuck_state_everywhere(self, rng):
+        """State-consistency invariant: _levels is the *physical* ring
+        state, so off-block stuck cells hold their stuck level even though
+        the MVM view excludes them (module docstring)."""
+        bank = WeightBank()
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        bank.inject_stuck_faults(1.0, rng, stuck_level=254)
+        assert np.all(bank.physical_levels == 254)
+        # ... and re-programming the block does not shake stuck cells loose.
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        assert np.all(bank.physical_levels == 254)
+        assert np.all(bank.realized_weights[4:, :] == 0.0)
+
+    def test_in_block_stuck_levels_consistent_with_realized(self, rng):
+        """Inside the programmed block, level / realized / mask must agree:
+        the realized weight is exactly the dequantized stuck level."""
+        bank = WeightBank()
+        bank.program(rng.uniform(-1, 1, (16, 16)))
+        bank.inject_stuck_faults(0.3, rng, stuck_level=200)
+        bank.program(rng.uniform(-1, 1, (16, 16)))
+        stuck = bank.physical_levels == 200
+        assert stuck.any()
+        expected = 2 * 200 / (bank.levels - 1) - 1
+        assert np.allclose(bank.realized_weights[stuck], expected)
+
 
 class TestGracefulDegradation:
     @pytest.fixture(scope="class")

@@ -8,7 +8,11 @@ from repro.dataflow.cost_model import PhotonicArch
 from repro.dataflow.power_trace import PowerTrace, power_trace
 from repro.dataflow.schedule_sim import simulate_layer
 from repro.dataflow.tiling import TileSchedule
-from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
+from repro.devices.program_verify import (
+    ProgramVerifyConfig,
+    ProgramVerifyResult,
+    ProgramVerifyWriter,
+)
 from repro.errors import ConfigError
 from repro.nn.layers import GEMMShape
 
@@ -125,3 +129,44 @@ class TestProgramWithVerify:
         plain = WeightBank()
         expected = plain.program(w)
         assert np.allclose(realized, expected)
+
+    def test_write_time_includes_extra_rounds(self, rng):
+        """The verify loop's extra rounds must show up in the recorded
+        write time (and hence in any time estimate derived from it)."""
+        w = rng.uniform(-1, 1, (8, 8))
+        cfg = ProgramVerifyConfig(
+            write_std_levels=50.0, tolerance_levels=0.1, max_iterations=4
+        )
+        bank = WeightBank()
+        _, result = program_with_verify(bank, w, ProgramVerifyWriter(cfg, seed=0))
+        rounds = int(result.pulses.max())
+        assert rounds > 1
+        assert bank.stats.write_time_s == pytest.approx(
+            rounds * bank.tuning.write_time()
+        )
+
+    def test_already_converged_writer_never_refunds_time(self, rng):
+        """A pathological writer reporting zero pulses (targets already
+        reached) must not *subtract* the write time the nominal program
+        charged — the round increment clamps at zero."""
+
+        class ConvergedWriter:
+            config = ProgramVerifyConfig()
+
+            def write(self, targets):
+                t = np.asarray(targets, dtype=np.float64)
+                return ProgramVerifyResult(
+                    achieved_levels=t.copy(),
+                    pulses=np.zeros(t.shape, dtype=np.int64),
+                    reads=np.zeros(t.shape, dtype=np.int64),
+                    converged=np.ones(t.shape, dtype=bool),
+                    config=self.config,
+                )
+
+        w = rng.uniform(-1, 1, (8, 8))
+        bank = WeightBank()
+        realized, _ = program_with_verify(bank, w, ConvergedWriter())
+        assert bank.stats.write_time_s == pytest.approx(bank.tuning.write_time())
+        assert bank.stats.write_time_s >= 0.0
+        plain = WeightBank()
+        assert np.allclose(realized, plain.program(w))

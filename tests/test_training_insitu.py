@@ -113,8 +113,8 @@ class TestTrainStep:
         acc, _ = make_accelerator([8, 12, 3], seed=2)
         trainer = InSituTrainer(acc, lr=0.3)
         trainer.train_step(train.x[:8], train.y[:8])
-        # Training is write-heavy: every sample reprograms banks for the
-        # backward modes and the inter-sample weight restore.
+        # Training is write-heavy even batched: every sample still pays its
+        # outer-product bank program, plus the grouped W^T and update writes.
         assert acc.counters.bank_writes > 8
         assert acc.counters.mode_switches > 0
         assert acc.energy_estimate_j() > 0
@@ -168,12 +168,132 @@ class TestEndToEnd:
         assert not np.allclose(trainer.weights[0], 99.0)
 
 
+class TestBatchedMatchesStreaming:
+    """The batched schedule must reproduce the per-sample reference exactly
+    on noise-free hardware — same losses, same updated weights."""
+
+    def test_identical_losses_and_weights(self, blob_data):
+        train, _ = blob_data
+        acc_b, _ = make_accelerator([8, 12, 3], seed=2)
+        acc_s, _ = make_accelerator([8, 12, 3], seed=2)
+        batched = InSituTrainer(acc_b, lr=0.3)
+        streaming = InSituTrainer(acc_s, lr=0.3)
+        for start in (0, 16, 32):
+            xb = train.x[start : start + 16]
+            yb = train.y[start : start + 16]
+            loss_b = batched.train_step(xb, yb)
+            loss_s = streaming.train_step_streaming(xb, yb)
+            assert np.isclose(loss_b, loss_s, rtol=0, atol=1e-12)
+        for w_b, w_s in zip(batched.weights, streaming.weights):
+            np.testing.assert_allclose(w_b, w_s, rtol=0, atol=1e-12)
+
+    def test_backward_batch_matches_accumulated_samples(self, blob_data):
+        train, _ = blob_data
+        B = 6
+        acc, _ = make_accelerator([8, 12, 3], seed=2)
+        trainer = InSituTrainer(acc, lr=0.3)
+        xb, yb = train.x[:B], train.y[:B]
+
+        logits = acc.forward_batch(xb, record=True)
+        _, grad = cross_entropy_loss(logits, yb)
+        grads_batch = trainer.backward_batch(grad * B)
+
+        accum = [np.zeros((l.out_dim, l.in_dim)) for l in acc.layers]
+        for x, label in zip(xb, yb):
+            # The previous backward pass (batched or per-sample) left W^T in
+            # the banks — restore forward weights before every sample.
+            acc.set_weights([layer.weights for layer in acc.layers])
+            lg = acc.forward(x, record=True)
+            _, g = cross_entropy_loss(lg[None, :], np.array([label]))
+            for a, gr in zip(accum, trainer.backward_sample(g[0])):
+                a += gr
+        for g_b, g_s in zip(grads_batch, accum):
+            np.testing.assert_allclose(g_b, g_s, rtol=0, atol=1e-10)
+
+    def test_dead_path_accounting_parity(self):
+        """A sample whose hidden layer never fires dies after one
+        gradient-vector hop.  The per-sample schedule skips its upstream
+        outer product; the batched engine must compact the dead column
+        out and charge exactly the same symbols — not stream a zero
+        vector the control unit already knows is dead."""
+        dims = [8, 12, 3]
+        weights = [w.copy() for w in DigitalMLP(dims, activation="gst", seed=2).weights]
+        # All-positive first layer + an all-negative sample => its hidden
+        # pre-activations are all negative, so no GST cell fires and the
+        # LDSU derivative bits are all zero for that sample.
+        weights[0] = np.abs(weights[0])
+        xb = np.vstack([np.full(8, 0.4), np.full(8, -0.4), np.full(8, 0.2)])
+        yb = np.array([0, 1, 2])
+        B = len(yb)
+
+        def fresh():
+            acc = TridentAccelerator()
+            acc.map_mlp(dims)
+            acc.set_weights([w.copy() for w in weights])
+            return acc, InSituTrainer(acc, lr=0.1)
+
+        acc_b, batched = fresh()
+        logits = acc_b.forward_batch(xb, record=True)
+        _, grad = cross_entropy_loss(logits, yb)
+        before = acc_b.counters.symbols
+        grads_batch = batched.backward_batch(grad * B)
+        symbols_batch = acc_b.counters.symbols - before
+
+        acc_s, streaming = fresh()
+        symbols_sample = 0
+        accum = [np.zeros((l.out_dim, l.in_dim)) for l in acc_s.layers]
+        for x, g in zip(xb, grad * B):
+            acc_s.set_weights([layer.weights for layer in acc_s.layers])
+            acc_s.forward(x, record=True)
+            before = acc_s.counters.symbols
+            for a, gr in zip(accum, streaming.backward_sample(g)):
+                a += gr
+            symbols_sample += acc_s.counters.symbols - before
+
+        assert symbols_batch == symbols_sample
+        # The dead sample really was skipped: one layer-0 outer product
+        # (12 symbols) short of the no-dead-path law B*(3 + 1 + 12).
+        assert symbols_batch == B * (3 + 1 + 12) - 12
+        for g_b, g_s in zip(grads_batch, accum):
+            np.testing.assert_allclose(g_b, g_s, rtol=0, atol=1e-10)
+
+    def test_backward_batch_requires_recorded_forward_batch(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        acc.forward(np.zeros(8), record=True)  # per-sample record only
+        with pytest.raises(MappingError):
+            trainer.backward_batch(np.zeros((1, 4)))
+
+    def test_backward_batch_shape_checked(self):
+        acc, _ = make_accelerator([8, 4])
+        trainer = InSituTrainer(acc)
+        acc.forward_batch(np.zeros((3, 8)), record=True)
+        with pytest.raises(ShapeError):
+            trainer.backward_batch(np.zeros((3, 5)))
+
+
 class TestWriteCostLaw:
-    def test_bank_writes_follow_closed_form(self, blob_data):
-        """Functional training's write count obeys the analytical law the
-        latency model charges: per batch of B samples on an L-layer MLP,
-        (B-1)*L weight restores + B*(L outer products + (L-1) gradient
-        programs) + L update reprograms."""
+    def test_streaming_bank_writes_follow_closed_form(self, blob_data):
+        """The per-sample schedule's write count obeys the analytical law
+        the latency model charges: per batch of B samples on an L-layer
+        MLP, (B-1)*L weight restores + B*(L outer products + (L-1)
+        gradient programs) + L update reprograms."""
+        train, _ = blob_data
+        for B in (1, 4, 9):
+            acc, _ = make_accelerator([8, 12, 3], seed=2)
+            trainer = InSituTrainer(acc, lr=0.1)
+            L = len(acc.layers)
+            base = acc.counters.bank_writes
+            trainer.train_step_streaming(train.x[:B], train.y[:B])
+            got = acc.counters.bank_writes - base
+            predicted = (B - 1) * L + B * (L + (L - 1)) + L
+            assert got == predicted, (B, got, predicted)
+
+    def test_batched_bank_writes_follow_closed_form(self, blob_data):
+        """Grouped reprogramming is *the* saving of the batched schedule:
+        B*L per-sample outer-product programs survive, but the W^T
+        programs collapse to one per hidden layer and the inter-sample
+        restores disappear entirely."""
         train, _ = blob_data
         for B in (1, 4, 9):
             acc, _ = make_accelerator([8, 12, 3], seed=2)
@@ -182,21 +302,23 @@ class TestWriteCostLaw:
             base = acc.counters.bank_writes
             trainer.train_step(train.x[:B], train.y[:B])
             got = acc.counters.bank_writes - base
-            predicted = (B - 1) * L + B * (L + (L - 1)) + L
+            predicted = B * L + (L - 1) + L
             assert got == predicted, (B, got, predicted)
 
     def test_symbols_follow_closed_form(self, blob_data):
         """Symbols per batch: B forward symbols per layer + B gradient
         symbols per hidden layer + B outer-product streams (one symbol per
-        delta element)."""
+        delta element).  Batching saves writes, not symbols — both
+        schedules stream exactly the same vectors through the banks."""
         train, _ = blob_data
         B = 5
-        acc, _ = make_accelerator([8, 12, 3], seed=2)
-        trainer = InSituTrainer(acc, lr=0.1)
-        base = acc.counters.symbols
-        trainer.train_step(train.x[:B], train.y[:B])
-        got = acc.counters.symbols - base
         # forward: 2 layers -> 2B; gradient: 1 hidden -> B;
         # outer: layer1 streams len(delta1)=3, layer0 streams len(delta0)=12.
         predicted = 2 * B + B + B * (3 + 12)
-        assert got == predicted
+        for step in ("train_step", "train_step_streaming"):
+            acc, _ = make_accelerator([8, 12, 3], seed=2)
+            trainer = InSituTrainer(acc, lr=0.1)
+            base = acc.counters.symbols
+            getattr(trainer, step)(train.x[:B], train.y[:B])
+            got = acc.counters.symbols - base
+            assert got == predicted, (step, got, predicted)
