@@ -24,6 +24,9 @@ Sub-packages:
   edge accelerators.
 - :mod:`repro.training` — in-situ photonic backpropagation and the
   training-latency model.
+- :mod:`repro.faults` — runtime fault management: online detection from
+  program-verify readback, spare-ring repair, tile remapping, and the
+  fault-injection campaign engine.
 - :mod:`repro.eval` — regeneration of every table and figure.
 """
 
@@ -31,15 +34,20 @@ from repro.arch.accelerator import TridentAccelerator
 from repro.arch.config import TridentConfig
 from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
 from repro.devices.noise import NoiseModel
+from repro.faults import FaultDetector, FaultManager, RepairConfig, RepairPolicy
 from repro.training.insitu import InSituTrainer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultDetector",
+    "FaultManager",
     "InSituTrainer",
     "NoiseModel",
     "PhotonicArch",
     "PhotonicCostModel",
+    "RepairConfig",
+    "RepairPolicy",
     "TridentAccelerator",
     "TridentConfig",
     "__version__",

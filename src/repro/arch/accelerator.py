@@ -37,7 +37,8 @@ from repro.arch.pe import ProcessingElement
 from repro.arch.weight_bank import BankStats, WeightBank
 from repro.devices.noise import NoiseModel
 from repro.devices.photodetector import BalancedPhotodetector
-from repro.errors import MappingError, ShapeError
+from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
+from repro.errors import MappingError, RepairError, ShapeError
 
 
 @dataclass
@@ -112,6 +113,8 @@ class TridentAccelerator:
         config: TridentConfig | None = None,
         noise: NoiseModel | None = None,
         programming_noise_levels: float = 0.0,
+        seed: int = 0,
+        program_verify: ProgramVerifyConfig | None = None,
     ) -> None:
         self.config = config or TridentConfig()
         self.noise = noise or NoiseModel.ideal()
@@ -122,6 +125,22 @@ class TridentAccelerator:
         self.pes: list[ProcessingElement] = []
         self.layers: list[MappedLayer] = []
         self.counters = EventCounters()
+        #: One seeded generator for everything stochastic the accelerator
+        #: owns (verify writes, fault injection through
+        #: :meth:`inject_stuck_faults`) — repeated runs with the same seed
+        #: are bit-identical.
+        self.rng = np.random.default_rng(seed)
+        #: When set, every persistent weight write goes through an
+        #: iterative program-and-verify loop whose readback feeds fault
+        #: detection (transient-operand writes during training stay
+        #: open-loop).  None keeps the nominal single-pulse model.
+        self.program_verify = program_verify
+        self._verify_writer = (
+            ProgramVerifyWriter(program_verify, rng=self.rng)
+            if program_verify is not None
+            else None
+        )
+        self._write_listeners: list = []
 
     # ------------------------------------------------------------------
     # Mapping
@@ -134,6 +153,8 @@ class TridentAccelerator:
                 tuning=self.config.tuning,
                 noise=self.noise,
                 programming_noise_levels=self.programming_noise_levels,
+                spare_rows=self.config.spare_rows,
+                convergence_floor=self.config.convergence_floor,
             ),
             bpd=BalancedPhotodetector(noise=self.noise),
         )
@@ -201,13 +222,95 @@ class TridentAccelerator:
         # docstring, "Analog range management").
         peak = float(np.max(np.abs(weights))) if weights.size else 0.0
         scale = peak if peak > 1.0 else 1.0
-        norm = weights / scale
-        for r0, r1, c0, c1, pe_index in layer.tiles:
-            self.pes[pe_index].program_weights(norm[r0:r1, c0:c1])
-            self.counters.bank_writes += 1
-            self.counters.cells_written += (r1 - r0) * (c1 - c0)
         layer.weights = weights.copy()
         layer.weight_scale = scale
+        for tile_index in range(len(layer.tiles)):
+            self.reprogram_tile(layer.index, tile_index)
+
+    def reprogram_tile(
+        self, layer_index: int, tile_index: int, writer=None
+    ):
+        """(Re)write one mapped tile's weight block into its bank.
+
+        Programs the tile from the layer's digital weight shadow — the
+        unit of work for deployment, repair retries, and post-remap
+        rewrites alike, so every repair action pays the same write
+        accounting as a deployment write (no free writes).  When the
+        accelerator has a verify writer (or an explicit ``writer`` is
+        passed, e.g. a retry-escalated one) the write runs program-and-
+        verify and registered write listeners see the readback; otherwise
+        it is a nominal single-pulse write.  Returns the
+        ProgramVerifyResult or None for nominal writes.
+        """
+        layer = self.layers[layer_index]
+        if layer.weights is None:
+            raise MappingError(
+                f"layer {layer_index} has no programmed weights to rewrite"
+            )
+        r0, r1, c0, c1, pe_index = layer.tiles[tile_index]
+        block = layer.weights[r0:r1, c0:c1] / layer.weight_scale
+        pe = self.pes[pe_index]
+        use_writer = writer if writer is not None else self._verify_writer
+        result = None
+        if use_writer is not None:
+            _, result = pe.bank.program_verified(block, use_writer)
+            for listener in self._write_listeners:
+                listener(pe_index, layer_index, tile_index, pe.bank, result)
+        else:
+            pe.program_weights(block)
+        self.counters.bank_writes += 1
+        self.counters.cells_written += (r1 - r0) * (c1 - c0)
+        return result
+
+    def migrate_tile(self, layer_index: int, tile_index: int) -> int:
+        """Move a tile from its (degraded) PE onto a freshly allocated PE.
+
+        The repair mechanism of last resort: the control unit re-routes
+        the tile's optical path to a new PE within the configured PE
+        budget and the old PE is retired from this tile.  The tile is left
+        unprogrammed on the new bank — callers must
+        :meth:`reprogram_tile`, which charges the migration's write cost.
+        Returns the new PE index; raises
+        :class:`~repro.errors.RepairError` when the PE budget is
+        exhausted.
+        """
+        if len(self.pes) >= self.config.n_pes:
+            raise RepairError(
+                f"cannot migrate tile: all {self.config.n_pes} PEs allocated"
+            )
+        layer = self.layers[layer_index]
+        r0, r1, c0, c1, _old = layer.tiles[tile_index]
+        self._new_pe()
+        new_index = len(self.pes) - 1
+        layer.tiles[tile_index] = (r0, r1, c0, c1, new_index)
+        return new_index
+
+    # ------------------------------------------------------------------
+    # Fault-management plumbing
+    # ------------------------------------------------------------------
+    @property
+    def verify_writer(self) -> ProgramVerifyWriter | None:
+        """The shared program-and-verify controller (None when nominal)."""
+        return self._verify_writer
+
+    def add_write_listener(self, listener) -> None:
+        """Register ``listener(pe_index, layer_index, tile_index, bank,
+        result)`` to observe every verified weight write's readback —
+        the hook :class:`~repro.faults.FaultDetector` attaches through."""
+        self._write_listeners.append(listener)
+
+    def inject_stuck_faults(
+        self, fraction: float, stuck_level: int | None = None
+    ) -> int:
+        """Inject stuck-at faults into every allocated PE's bank.
+
+        Draws from the accelerator's own seeded generator so campaigns
+        are reproducible.  Returns the total number of newly stuck cells.
+        """
+        return sum(
+            pe.bank.inject_stuck_faults(fraction, self.rng, stuck_level)
+            for pe in self.pes
+        )
 
     # ------------------------------------------------------------------
     # Inference

@@ -36,6 +36,12 @@ class TridentConfig:
     n_pes: int = 44
     bank_rows: int = 16  # J: rows -> one BPD/TIA/LDSU/activation per row
     bank_cols: int = 16  # N: columns -> one WDM wavelength per column
+    #: Spare ring rows per bank beyond the logical J rows (fault repair
+    #: headroom; the paper's 256-MRR geometry is spare_rows=0).
+    spare_rows: int = 0
+    #: Program-verify convergence floor below which a bank write emits a
+    #: :class:`~repro.errors.WriteConvergenceWarning`.
+    convergence_floor: float = 0.9
 
     # --- timing --------------------------------------------------------
     max_clock_hz: float = 1.37 * GHZ
@@ -70,6 +76,12 @@ class TridentConfig:
             raise ConfigError(f"n_pes must be positive, got {self.n_pes}")
         if self.bank_rows < 1 or self.bank_cols < 1:
             raise ConfigError("bank dimensions must be positive")
+        if self.spare_rows < 0:
+            raise ConfigError(f"spare_rows must be non-negative, got {self.spare_rows}")
+        if not 0.0 <= self.convergence_floor <= 1.0:
+            raise ConfigError(
+                f"convergence_floor must lie in [0, 1], got {self.convergence_floor}"
+            )
         if self.symbol_rate_hz <= 0 or self.max_clock_hz <= 0:
             raise ConfigError("rates must be positive")
         if self.symbol_rate_hz > self.max_clock_hz:
@@ -150,6 +162,8 @@ class TridentConfig:
             n_pes=n,
             bank_rows=self.bank_rows,
             bank_cols=self.bank_cols,
+            spare_rows=self.spare_rows,
+            convergence_floor=self.convergence_floor,
             max_clock_hz=self.max_clock_hz,
             symbol_rate_hz=self.symbol_rate_hz,
             tuning=self.tuning,

@@ -25,10 +25,18 @@ unit routes no input wavelength onto unused columns and terminates no
 detector on unused rows.  Off-block stuck rings therefore do **not**
 attenuate light in this model (crosstalk leakage onto unused channels is
 below the model's fidelity); ``_mask`` marks block membership.
+
+Fault tolerance: a bank built with ``spare_rows=k`` carries k extra
+physical ring rows beyond its logical J rows.  A row-remap table routes
+each logical row onto a physical row; :meth:`remap_row` retires a worn row
+onto a free spare (a control-unit routing change — the repair reprogram
+pays the write cost).  All physical state arrays are sized
+``(rows + spare_rows, cols)``; the logical MVM view reads through the map.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,7 +44,14 @@ import numpy as np
 from repro.devices.noise import NoiseModel
 from repro.devices.pcm_mrr import WeightCalibration, build_calibration
 from repro.devices.tuning import GSTTuning, TuningModel
-from repro.errors import ProgrammingError, ShapeError
+from repro.errors import (
+    ConfigError,
+    FaultError,
+    ProgrammingError,
+    RepairError,
+    ShapeError,
+    WriteConvergenceWarning,
+)
 
 
 @dataclass
@@ -72,11 +87,22 @@ class WeightBank:
         calibration: WeightCalibration | None = None,
         crosstalk: np.ndarray | None = None,
         programming_noise_levels: float = 0.0,
+        spare_rows: int = 0,
+        convergence_floor: float = 0.9,
     ) -> None:
         if rows < 1 or cols < 1:
             raise ShapeError(f"bank dimensions must be positive, got {rows}x{cols}")
+        if spare_rows < 0:
+            raise ShapeError(f"spare rows must be non-negative, got {spare_rows}")
+        if not 0.0 <= convergence_floor <= 1.0:
+            raise ConfigError(
+                f"convergence floor must lie in [0, 1], got {convergence_floor}"
+            )
         self.rows = rows
         self.cols = cols
+        self.spare_rows = spare_rows
+        self.physical_rows = rows + spare_rows
+        self.convergence_floor = convergence_floor
         self.tuning = tuning if tuning is not None else GSTTuning()
         self.noise = noise if noise is not None else NoiseModel.ideal()
         self._calibration = calibration
@@ -92,11 +118,19 @@ class WeightBank:
                 )
         self.crosstalk = crosstalk
 
-        self._levels = np.zeros((rows, cols), dtype=np.int64)
-        self._realized = np.zeros((rows, cols), dtype=np.float64)
-        self._mask = np.zeros((rows, cols), dtype=bool)
-        self._stuck_mask = np.zeros((rows, cols), dtype=bool)
-        self._stuck_levels = np.zeros((rows, cols), dtype=np.int64)
+        shape = (self.physical_rows, cols)
+        self._levels = np.zeros(shape, dtype=np.int64)
+        self._realized = np.zeros(shape, dtype=np.float64)
+        self._mask = np.zeros(shape, dtype=bool)
+        self._stuck_mask = np.zeros(shape, dtype=bool)
+        self._stuck_levels = np.zeros(shape, dtype=np.int64)
+        #: logical row i reads physical ring row _row_map[i].
+        self._row_map = np.arange(rows, dtype=np.int64)
+        self._spare_pool: list[int] = list(range(rows, self.physical_rows))
+        self._needs_reprogram = False
+        self._last_converged: np.ndarray | None = None
+        self._last_level_errors: np.ndarray | None = None
+        self._unconverged_mask = np.zeros(shape, dtype=bool)
         self.stats = BankStats()
 
     # ------------------------------------------------------------------
@@ -144,12 +178,17 @@ class WeightBank:
         noisy = self.noise.apply_programming_noise(levels, self.programming_noise_levels)
         noisy = np.clip(noisy, 0, self.levels - 1)
 
+        phys = self._row_map[:r]
         self._levels[:] = 0
         self._realized[:] = 0.0
         self._mask[:] = False
-        self._levels[:r, :c] = np.rint(noisy).astype(np.int64)
-        self._realized[:r, :c] = self._dequantize(noisy)
-        self._mask[:r, :c] = True
+        self._levels[phys, :c] = np.rint(noisy).astype(np.int64)
+        self._realized[phys, :c] = self._dequantize(noisy)
+        self._mask[phys, :c] = True
+        self._needs_reprogram = False
+        self._last_converged = None
+        self._last_level_errors = None
+        self._unconverged_mask[:] = False
 
         if self._stuck_mask.any():
             # Failed cells ignore the write and hold their stuck level.  The
@@ -167,7 +206,77 @@ class WeightBank:
         self.stats.cells_written += n_cells
         self.stats.write_energy_j += self.tuning.write_energy(n_cells)
         self.stats.write_time_s += self.tuning.write_time()
-        return self._realized[:r, :c].copy()
+        return self._realized[phys, :c].copy()
+
+    def program_verified(
+        self, weights: np.ndarray, writer
+    ) -> tuple[np.ndarray, object]:
+        """Program through an iterative program-and-verify controller.
+
+        Like :meth:`program`, but the writer's achieved (noisy) levels
+        become the realized weights and the write accounting is corrected
+        to the actual pulse count the verify loop consumed.  Stuck cells
+        are handed to the writer as frozen cells, so the readback's
+        ``converged`` mask is an honest health signal: a worn cell whose
+        stuck level lies outside tolerance never converges.  The mask is
+        *stored* (see :attr:`unconverged_fraction`), and a
+        :class:`~repro.errors.WriteConvergenceWarning` fires when the
+        convergence rate drops below the bank's ``convergence_floor``.
+
+        Returns (realized weights of the programmed block, the writer's
+        ProgramVerifyResult).
+        """
+        w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        self.program(w)  # establishes occupancy + one nominal write
+        r, c = w.shape
+        phys = self._row_map[:r]
+        targets = self._quantize(w).astype(np.float64)
+        frozen = self._stuck_mask[phys, :c]
+        if frozen.any():
+            result = writer.write(
+                targets,
+                frozen_mask=frozen,
+                frozen_levels=self._stuck_levels[phys, :c].astype(np.float64),
+            )
+        else:
+            result = writer.write(targets)
+        achieved = np.rint(
+            np.clip(result.achieved_levels, 0, self.levels - 1)
+        ).astype(np.int64)
+        self._levels[phys, :c] = achieved
+        self._realized[phys, :c] = self._dequantize(achieved)
+        # Readback bookkeeping: the converged mask is the controller's only
+        # window into cell health — keep it instead of discarding it.
+        self._last_converged = result.converged.copy()
+        self._last_level_errors = np.abs(achieved - targets)
+        self._unconverged_mask[:] = False
+        self._unconverged_mask[phys, :c] = ~result.converged
+        # Correct the nominal single-pulse accounting to the verify loop's
+        # actual cost (extra pulses cost energy and endurance; reads cost
+        # read energy; time grows by the extra write rounds).  The round
+        # count is clamped at zero: a loop that needed no pulses at all
+        # (targets already reached) must not *refund* write time the
+        # nominal program already charged.
+        extra_pulses = result.total_pulses - r * c
+        self.stats.cells_written += extra_pulses
+        self.stats.write_energy_j += (
+            extra_pulses * writer.config.write_energy_j
+            + result.total_reads * writer.config.read_energy_j
+        )
+        extra_rounds = max(int(result.pulses.max(initial=0)) - 1, 0)
+        self.stats.write_time_s += extra_rounds * self.tuning.write_time()
+        rate = result.convergence_rate
+        if rate < self.convergence_floor:
+            warnings.warn(
+                WriteConvergenceWarning(
+                    f"program-verify convergence {rate:.1%} below floor "
+                    f"{self.convergence_floor:.1%} "
+                    f"({int((~result.converged).sum())} of "
+                    f"{result.converged.size} cells unconverged)"
+                ),
+                stacklevel=2,
+            )
+        return self._realized[phys, :c].copy(), result
 
     @property
     def realized_weights(self) -> np.ndarray:
@@ -182,8 +291,69 @@ class WeightBank:
 
     @property
     def physical_levels(self) -> np.ndarray:
-        """Physical per-ring levels (copy), including off-block stuck cells."""
+        """Physical per-ring levels (copy), including off-block stuck cells.
+
+        Shape is ``(rows + spare_rows, cols)`` — spare ring rows included.
+        """
         return self._levels.copy()
+
+    @property
+    def logical_weights(self) -> np.ndarray:
+        """(rows x cols) MVM-coupled weights as the detectors see them.
+
+        Reads the physical array through the row-remap table, so remapped
+        rows show their spare ring row's weights.  Identical to
+        :attr:`realized_weights` while no row has been remapped.
+        """
+        return self._realized[self._row_map].copy()
+
+    @property
+    def unconverged_fraction(self) -> float:
+        """Fraction of the last verified write's cells that failed to
+        converge (0.0 when the last write was nominal / unverified)."""
+        if self._last_converged is None:
+            return 0.0
+        return float(1.0 - self._last_converged.mean())
+
+    @property
+    def last_converged(self) -> np.ndarray | None:
+        """Converged mask of the last verified write (block shape), or
+        None if the last write was nominal."""
+        return None if self._last_converged is None else self._last_converged.copy()
+
+    @property
+    def last_write_error_levels(self) -> np.ndarray | None:
+        """|achieved - target| in levels for the last verified write
+        (block shape), or None if the last write was nominal.  This is the
+        readback the repair engine judges tile health from."""
+        if self._last_level_errors is None:
+            return None
+        return self._last_level_errors.copy()
+
+    @property
+    def unconverged_mask(self) -> np.ndarray:
+        """Physical-shape boolean mask of the last verified write's
+        unconverged cells (all False after a nominal write)."""
+        return self._unconverged_mask.copy()
+
+    @property
+    def active_row_map(self) -> np.ndarray:
+        """Copy of the logical-to-physical row-remap table."""
+        return self._row_map.copy()
+
+    @property
+    def free_spare_rows(self) -> tuple[int, ...]:
+        """Physical indices of spare ring rows not yet consumed."""
+        return tuple(self._spare_pool)
+
+    @property
+    def remapped_rows(self) -> dict[int, int]:
+        """{logical row: physical spare row} for every remapped row."""
+        return {
+            int(i): int(p)
+            for i, p in enumerate(self._row_map)
+            if int(p) != int(i)
+        }
 
     @property
     def occupancy(self) -> tuple[int, int]:
@@ -210,6 +380,10 @@ class WeightBank:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 1:
             raise ShapeError(f"input must be a vector, got shape {x.shape}")
+        if self._needs_reprogram:
+            raise ProgrammingError(
+                "bank rows were remapped; reprogram before streaming"
+            )
         r, c = self.occupancy
         if x.shape[0] != c:
             raise ShapeError(f"input length {x.shape[0]} != programmed columns {c}")
@@ -219,7 +393,7 @@ class WeightBank:
         full[:c] = x
         eff = self._effective_inputs(full)
         self.stats.symbols += 1
-        return self._realized[:r] @ eff
+        return self._realized[self._row_map[:r]] @ eff
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
         """Batched MVP: (cols_used, B) inputs -> (rows_used, B) outputs.
@@ -229,6 +403,10 @@ class WeightBank:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ShapeError(f"input must be 2-D, got shape {x.shape}")
+        if self._needs_reprogram:
+            raise ProgrammingError(
+                "bank rows were remapped; reprogram before streaming"
+            )
         r, c = self.occupancy
         if x.shape[0] != c:
             raise ShapeError(f"input rows {x.shape[0]} != programmed columns {c}")
@@ -238,7 +416,7 @@ class WeightBank:
         full[:c] = x
         eff = self._effective_inputs(full)
         self.stats.symbols += x.shape[1]
-        return self._realized[:r] @ eff
+        return self._realized[self._row_map[:r]] @ eff
 
     # ------------------------------------------------------------------
     def realize_virtually(self, weights: np.ndarray) -> np.ndarray:
@@ -293,6 +471,8 @@ class WeightBank:
         return self.tuning.hold_energy(r * c, duration_s)
 
     # ------------------------------------------------------------------
+    # Faults and repair
+    # ------------------------------------------------------------------
     def inject_stuck_faults(
         self,
         fraction: float,
@@ -305,17 +485,21 @@ class WeightBank:
         and holds one level forever (``stuck_level``; default is the
         mid-grid level, i.e. weight 0 — a stuck-amorphous/crystalline cell
         can be modeled by passing 0 or ``levels - 1``).  Faults apply to
-        every subsequent ``program`` call.  Returns the number of cells
-        newly stuck.  Yield/fault-tolerance studies drive this.
+        every subsequent ``program`` call and cover the *whole physical
+        array*, spare ring rows included (spares wear like any other
+        ring).  Returns the number of cells newly stuck.  Raises
+        :class:`~repro.errors.FaultError` on invalid arguments.
         """
         if not 0.0 <= fraction <= 1.0:
-            raise ProgrammingError(f"fraction must lie in [0, 1], got {fraction}")
+            raise FaultError(f"fraction must lie in [0, 1], got {fraction}")
         level = (self.levels - 1) // 2 if stuck_level is None else stuck_level
         if not 0 <= level < self.levels:
-            raise ProgrammingError(
+            raise FaultError(
                 f"stuck level must lie in [0, {self.levels - 1}], got {level}"
             )
-        new = (rng.random((self.rows, self.cols)) < fraction) & ~self._stuck_mask
+        new = (
+            rng.random((self.physical_rows, self.cols)) < fraction
+        ) & ~self._stuck_mask
         self._stuck_mask |= new
         self._stuck_levels[new] = level
         # Physical state updates everywhere immediately; the MVM-coupled
@@ -327,8 +511,106 @@ class WeightBank:
 
     @property
     def stuck_fraction(self) -> float:
-        """Fraction of cells currently marked stuck."""
+        """Fraction of physical cells (spares included) currently stuck."""
         return float(self._stuck_mask.mean())
+
+    def row_stuck_counts(self, cols_used: int | None = None) -> np.ndarray:
+        """Ground-truth stuck-cell count per *logical* row.
+
+        Counts over the first ``cols_used`` columns (default: all).  This
+        is the omniscient view for tests/reports; online repair decisions
+        use the :class:`~repro.faults.FaultDetector`'s inferred map.
+        """
+        c = self.cols if cols_used is None else cols_used
+        if not 0 <= c <= self.cols:
+            raise FaultError(f"cols_used must lie in [0, {self.cols}], got {c}")
+        return self._stuck_mask[self._row_map, :c].sum(axis=1)
+
+    def selftest(self, writer, test_levels: tuple[int, ...] = (64, 190)) -> list:
+        """March-style built-in self-test of every physical ring row.
+
+        Program-verifies each test level onto the *whole* physical array
+        (spare rows included — the only way to learn spare health before
+        trusting a remap to one).  A stuck cell fails every pattern whose
+        level sits outside verify tolerance of its stuck level, so two
+        well-separated patterns give two strikes to almost any stuck cell;
+        a cell stuck *at* a test level escapes that pattern and is caught
+        later by online write readback instead.  Each pattern is charged
+        as a full-array write (pulses + verify reads); the test clobbers
+        the programmed weights, so the bank refuses MVMs until the caller
+        reprograms it.  Returns the per-pattern ProgramVerifyResults
+        (physical shape).
+        """
+        if not test_levels:
+            raise FaultError("selftest needs at least one test level")
+        results = []
+        for level in test_levels:
+            if not 0 <= level < self.levels:
+                raise FaultError(
+                    f"test level must lie in [0, {self.levels - 1}], got {level}"
+                )
+            targets = np.full(
+                (self.physical_rows, self.cols), float(level), dtype=np.float64
+            )
+            if self._stuck_mask.any():
+                result = writer.write(
+                    targets,
+                    frozen_mask=self._stuck_mask,
+                    frozen_levels=self._stuck_levels.astype(np.float64),
+                )
+            else:
+                result = writer.write(targets)
+            self._levels[:] = np.rint(
+                np.clip(result.achieved_levels, 0, self.levels - 1)
+            ).astype(np.int64)
+            self.stats.write_events += 1
+            self.stats.cells_written += result.total_pulses
+            self.stats.write_energy_j += (
+                result.total_pulses * writer.config.write_energy_j
+                + result.total_reads * writer.config.read_energy_j
+            )
+            rounds = max(int(result.pulses.max(initial=0)), 1)
+            self.stats.write_time_s += rounds * self.tuning.write_time()
+            results.append(result)
+        self._realized[:] = 0.0
+        self._mask[:] = False
+        self._needs_reprogram = True
+        return results
+
+    def remap_row(self, logical_row: int, spare_physical: int | None = None) -> int:
+        """Retire a logical row's physical ring row onto a spare row.
+
+        A control-unit routing change: the row's detector terminates the
+        spare ring row instead of the worn one.  The remap itself costs
+        nothing, but it leaves the bank **unprogrammed at the new row** —
+        the next MVM is refused until the caller reprograms (the repair
+        engine always reprograms immediately, paying the normal write
+        accounting; no free writes).  Returns the new physical row index.
+        """
+        if not 0 <= logical_row < self.rows:
+            raise FaultError(
+                f"logical row must lie in [0, {self.rows - 1}], got {logical_row}"
+            )
+        if not self._spare_pool:
+            raise RepairError(
+                f"bank has no free spare rows left (spare_rows={self.spare_rows})"
+            )
+        if spare_physical is None:
+            spare_physical = self._spare_pool[0]
+        if spare_physical not in self._spare_pool:
+            raise RepairError(
+                f"physical row {spare_physical} is not a free spare "
+                f"(free: {self._spare_pool})"
+            )
+        self._spare_pool.remove(spare_physical)
+        old = int(self._row_map[logical_row])
+        self._row_map[logical_row] = spare_physical
+        # The retired row no longer terminates a detector: decouple it from
+        # the MVM view.  Its physical (possibly stuck) levels remain.
+        self._mask[old] = False
+        self._realized[old] = 0.0
+        self._needs_reprogram = True
+        return int(spare_physical)
 
 
 def program_with_verify(
@@ -338,39 +620,10 @@ def program_with_verify(
 ) -> tuple[np.ndarray, object]:
     """Program a bank through an iterative program-and-verify controller.
 
-    Bridges :class:`WeightBank` and
-    :class:`repro.devices.program_verify.ProgramVerifyWriter`: targets are
-    the bank's quantized levels; the writer's achieved (noisy) levels become
-    the realized weights, and the bank's write accounting is corrected to
-    the *actual* pulse count the verify loop consumed.
-
-    Returns (realized weights of the programmed block, ProgramVerifyResult).
+    Thin functional wrapper over :meth:`WeightBank.program_verified`, kept
+    for callers that predate the bank-level method.
     """
-    w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
-    realized = bank.program(w)  # establishes occupancy + one nominal write
-    r, c = w.shape
-    targets = bank._quantize(w).astype(np.float64)
-    result = writer.write(targets)
-    achieved = np.rint(np.clip(result.achieved_levels, 0, bank.levels - 1)).astype(
-        np.int64
-    )
-    bank._levels[:r, :c] = achieved
-    bank._realized[:r, :c] = bank._dequantize(achieved)
-    # Correct the nominal single-pulse accounting to the verify loop's
-    # actual cost (extra pulses cost energy and endurance; reads cost
-    # read energy; time grows by the extra write rounds).  The round count
-    # is clamped at zero: a loop that needed no pulses at all (targets
-    # already reached) must not *refund* write time the nominal program
-    # already charged.
-    extra_pulses = result.total_pulses - r * c
-    bank.stats.cells_written += extra_pulses
-    bank.stats.write_energy_j += (
-        extra_pulses * writer.config.write_energy_j
-        + result.total_reads * writer.config.read_energy_j
-    )
-    extra_rounds = max(int(result.pulses.max(initial=0)) - 1, 0)
-    bank.stats.write_time_s += extra_rounds * bank.tuning.write_time()
-    return bank._realized[:r, :c].copy(), result
+    return bank.program_verified(weights, writer)
 
 
 def compensate_crosstalk(weights: np.ndarray, crosstalk: np.ndarray) -> np.ndarray:

@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``):
     python -m repro link-budget --rows 16 --cols 16 --power-mw 1.0
     python -m repro profile --dims 64 48 10 --batch 256
     python -m repro endurance resnet50
+    python -m repro faults --smoke
 """
 
 from __future__ import annotations
@@ -289,6 +290,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection campaign: stuck-cell fraction x repair policy.
+
+    Sweeps inference accuracy, in-situ-training survival, and repair
+    overhead under PCM stuck-at faults for each repair tier (none /
+    retry / spare-remap / tile-remap).  Exits non-zero if any run's
+    batched and per-sample execution paths disagree — fault repair must
+    never break the parity guarantee.
+    """
+    from repro.faults import CampaignConfig, run_campaign
+
+    if args.smoke:
+        config = CampaignConfig.smoke()
+    else:
+        config = CampaignConfig(
+            fault_fractions=tuple(args.fractions),
+            policies=tuple(args.policies),
+            trials=args.trials,
+            seed=args.seed,
+        )
+    report = run_campaign(config)
+    print(report.render())
+    if args.export:
+        from repro.eval.export import export_fault_campaign
+
+        for path in export_fault_campaign(report, args.export):
+            print(path)
+    if not report.parity_ok:
+        print("PARITY VIOLATION between forward_batch and per-sample forward")
+        return 1
+    return 0
+
+
 def cmd_endurance(args: argparse.Namespace) -> int:
     """PCM wear-out analysis for one model."""
     from repro.analysis import endurance_report
@@ -373,6 +407,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "faults", help="fault campaign: stuck-cell rate x repair policy"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (two fractions, two policies, one trial)",
+    )
+    p.add_argument(
+        "--fractions", type=float, nargs="+",
+        default=[0.0, 0.05, 0.1, 0.2],
+    )
+    p.add_argument(
+        "--policies", nargs="+",
+        default=["none", "retry", "spare", "remap"],
+        choices=("none", "retry", "spare", "remap"),
+    )
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--export", metavar="DIR",
+                   help="also write fault_campaign.{csv,json} to DIR")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("endurance", help="PCM wear-out analysis for a model")
     p.add_argument("model")

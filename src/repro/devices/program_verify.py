@@ -98,17 +98,58 @@ class ProgramVerifyResult:
 
 
 class ProgramVerifyWriter:
-    """Vectorized iterative program-and-verify controller."""
+    """Vectorized iterative program-and-verify controller.
 
-    def __init__(self, config: ProgramVerifyConfig | None = None, seed: int = 0) -> None:
+    ``rng`` lets a caller (e.g. :class:`repro.arch.TridentAccelerator`)
+    thread one shared seeded generator through every write so repeated
+    campaign runs with the same seed are bit-identical; without it the
+    writer owns a private ``default_rng(seed)``.
+    """
+
+    def __init__(
+        self,
+        config: ProgramVerifyConfig | None = None,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         self.config = config or ProgramVerifyConfig()
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
-    def write(self, target_levels: np.ndarray) -> ProgramVerifyResult:
+    def escalated(self, factor: float) -> "ProgramVerifyWriter":
+        """A writer with ``factor``-times the iteration budget, same RNG.
+
+        The retry-with-backoff repair policy re-attempts a failed write
+        with an escalating pulse budget; sharing the generator keeps the
+        whole campaign on one deterministic draw stream.
+        """
+        if factor < 1.0:
+            raise ConfigError(f"escalation factor must be >= 1, got {factor}")
+        from dataclasses import replace
+
+        cfg = replace(
+            self.config,
+            max_iterations=max(int(self.config.max_iterations * factor), 1),
+        )
+        writer = ProgramVerifyWriter(cfg)
+        writer._rng = self._rng
+        return writer
+
+    def write(
+        self,
+        target_levels: np.ndarray,
+        frozen_mask: np.ndarray | None = None,
+        frozen_levels: np.ndarray | None = None,
+    ) -> ProgramVerifyResult:
         """Program every cell to its integer target level.
 
         One pass per iteration over the still-unconverged mask; all draws
-        vectorized.
+        vectorized.  Cells flagged in ``frozen_mask`` model worn-out PCM:
+        pulses land them at ``frozen_levels`` regardless of target (the
+        cell no longer switches), so they converge only when their frozen
+        level already sits within tolerance of the target — otherwise they
+        burn the full iteration budget and surface in the ``converged``
+        mask, which is exactly the readback signal online fault detection
+        keys on.
         """
         cfg = self.config
         targets = np.asarray(target_levels, dtype=np.float64)
@@ -116,6 +157,19 @@ class ProgramVerifyWriter:
             raise ProgrammingError(
                 f"targets must lie in [0, {cfg.levels - 1}]"
             )
+        frozen = None
+        if frozen_mask is not None:
+            frozen = np.asarray(frozen_mask, dtype=bool)
+            if frozen.shape != targets.shape:
+                raise ProgrammingError(
+                    f"frozen mask shape {frozen.shape} != targets {targets.shape}"
+                )
+            frozen_levels = np.asarray(frozen_levels, dtype=np.float64)
+            if frozen_levels.shape != targets.shape:
+                raise ProgrammingError(
+                    f"frozen levels shape {frozen_levels.shape} != targets "
+                    f"{targets.shape}"
+                )
         shape = targets.shape
         achieved = np.full(shape, np.nan)
         pulses = np.zeros(shape, dtype=np.int64)
@@ -129,6 +183,9 @@ class ProgramVerifyWriter:
             # Pulse: land near the target with placement error.
             landed = targets[pending] + self._rng.standard_normal(n) * cfg.write_std_levels
             landed = np.clip(landed, 0, cfg.levels - 1)
+            if frozen is not None:
+                # Worn cells ignore the pulse and stay at their stuck level.
+                landed = np.where(frozen[pending], frozen_levels[pending], landed)
             achieved[pending] = landed
             pulses[pending] += 1
             # Verify read.

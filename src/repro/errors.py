@@ -19,6 +19,22 @@ class ProgrammingError(DeviceError):
     """A PCM cell or weight bank was programmed with an out-of-range value."""
 
 
+class FaultError(ProgrammingError):
+    """Invalid fault injection or fault-map operation.
+
+    Subclasses :class:`ProgrammingError` only as a deprecation-compatible
+    alias: fault injection historically raised ``ProgrammingError``, so
+    existing ``except ProgrammingError`` sites keep working.  New code
+    should catch ``FaultError`` — injection is a wear/fault problem, not a
+    programming-range problem.
+    """
+
+
+class RepairError(ReproError):
+    """A repair action could not be carried out (no spare rows/PEs left,
+    or the repair budget is exhausted)."""
+
+
 class EnduranceExceededError(DeviceError):
     """A PCM cell exceeded its rated switching endurance."""
 
@@ -33,3 +49,8 @@ class ShapeError(ReproError):
 
 class ScheduleError(ReproError):
     """The dataflow scheduler produced or received an invalid schedule."""
+
+
+class WriteConvergenceWarning(UserWarning):
+    """A program-and-verify write left more cells unconverged than the
+    bank's configured convergence floor allows."""

@@ -3,11 +3,14 @@
 For downstream plotting or spreadsheet analysis: ``export_all(directory)``
 writes one CSV per table/figure plus the consolidated paper-vs-measured
 summary.  Exposed on the CLI as ``python -m repro export --dir out/``.
+Fault-campaign results (``python -m repro faults``) export through
+:func:`export_fault_campaign` as CSV + JSON.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 from repro.errors import ConfigError
@@ -101,4 +104,62 @@ def export_all(directory: str | Path) -> list[Path]:
         ],
     )
     written.append(path)
+    return written
+
+
+def export_fault_campaign(report, directory: str | Path) -> list[Path]:
+    """Write a fault campaign's rows as CSV and its summary as JSON.
+
+    The CSV holds one row per (fraction, policy, trial) run; the JSON adds
+    the sweep config, clean accuracy, per-cell recovery/overhead
+    aggregates, and the parity verdict — everything a plot or a CI gate
+    needs without re-running the campaign.
+    """
+    out = Path(directory)
+    if out.exists() and not out.is_dir():
+        raise ConfigError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    row_dicts = [row.as_dict() for row in report.rows]
+    csv_path = out / "fault_campaign.csv"
+    headers = list(row_dicts[0]) if row_dicts else []
+    _write_csv(csv_path, headers, [list(d.values()) for d in row_dicts])
+    written.append(csv_path)
+
+    has_none = "none" in report.config.policies
+    cells = []
+    for fraction in report.config.fault_fractions:
+        for policy in report.config.policies:
+            cell = {
+                "fraction": fraction,
+                "policy": policy,
+                "mean_accuracy": report.mean_accuracy(fraction, policy),
+            }
+            if has_none:
+                energy, time_s = report.repair_overhead(fraction, policy)
+                cell["recovery"] = report.recovery(fraction, policy)
+                cell["repair_energy_j"] = energy
+                cell["repair_time_s"] = time_s
+            cells.append(cell)
+    payload = {
+        "config": {
+            "dims": list(report.config.dims),
+            "fault_fractions": list(report.config.fault_fractions),
+            "policies": list(report.config.policies),
+            "trials": report.config.trials,
+            "seed": report.config.seed,
+            "stuck_level": report.config.stuck_level,
+            "spare_rows": report.config.spare_rows,
+        },
+        "clean_accuracy": report.clean_accuracy,
+        "parity_ok": report.parity_ok,
+        "cells": cells,
+        "runs": row_dicts,
+    }
+    json_path = out / "fault_campaign.json"
+    with json_path.open("w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    written.append(json_path)
     return written

@@ -1,0 +1,388 @@
+"""Fault-injection campaign: accuracy vs stuck-cell rate x repair policy.
+
+The graceful-degradation question for a deployed edge accelerator: as PCM
+cells wear out, how fast does inference accuracy fall, how much of the
+loss does each repair tier claw back, and what do the repairs cost in
+write energy/latency?  The campaign answers it end to end:
+
+1. Train a digital reference classifier once (the weights a fab would
+   ship).
+2. For every (stuck fraction, repair policy, trial): build a seeded
+   accelerator with program-verify enabled and spare ring rows, inject
+   stuck-at faults, deploy through a
+   :class:`~repro.faults.repair.FaultManager`, and measure test accuracy.
+3. Spot-check execution parity: batched and per-sample forward passes
+   must agree on outputs and event counters even with faults and
+   remapped rows active.
+4. Verify in-situ training still runs on the repaired hardware (losses
+   stay finite; a repair sweep between steps keeps the banks healthy).
+5. Charge every repair through the event accounting and report the
+   deploy-time energy/time overhead versus the no-repair policy.
+
+Determinism: one ``numpy.random.Generator`` per run, seeded from
+``(seed, fraction, trial)``, shared by the verify writer and fault
+injection — identical configs reproduce bit-identical campaigns.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.accelerator import TridentAccelerator
+from repro.arch.config import TridentConfig
+from repro.devices.program_verify import ProgramVerifyConfig
+from repro.errors import ConfigError, WriteConvergenceWarning
+from repro.eval.formatting import format_table
+from repro.faults.detector import FaultDetector
+from repro.faults.repair import FaultManager, RepairConfig, RepairPolicy
+from repro.nn.datasets import Dataset, make_blobs, standardize
+from repro.nn.reference import DigitalMLP
+from repro.training.insitu import InSituTrainer
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sweep definition for one fault campaign."""
+
+    dims: tuple[int, ...] = (10, 14, 3)
+    fault_fractions: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+    policies: tuple[str, ...] = ("none", "retry", "spare", "remap")
+    trials: int = 3
+    seed: int = 0
+    #: Stuck level 254 = weight +1: the damaging corner (a mid-grid stuck
+    #: cell is nearly harmless — it reads as weight 0).
+    stuck_level: int = 254
+    #: Spare ring rows per bank.  8 covers the expected worn-row count of
+    #: a 14-row block at ~10% cell faults.
+    spare_rows: int = 8
+    #: Reference-classifier training epochs (digital, done once).
+    reference_epochs: int = 8
+    #: In-situ training-survival steps per run (0 disables).
+    train_batches: int = 2
+    train_lr: float = 0.2
+    #: Samples for the batched-vs-per-sample parity spot check.
+    parity_samples: int = 8
+    n_samples: int = 300
+
+    def __post_init__(self) -> None:
+        if len(self.dims) < 2 or any(d < 1 for d in self.dims):
+            raise ConfigError(f"dims must be >= 2 positive widths, got {self.dims}")
+        if not self.fault_fractions:
+            raise ConfigError("need at least one fault fraction")
+        if any(not 0.0 <= f <= 1.0 for f in self.fault_fractions):
+            raise ConfigError("fault fractions must lie in [0, 1]")
+        if not self.policies:
+            raise ConfigError("need at least one policy")
+        object.__setattr__(
+            self,
+            "policies",
+            tuple(RepairPolicy.parse(p).value for p in self.policies),
+        )
+        if self.trials < 1:
+            raise ConfigError(f"trials must be >= 1, got {self.trials}")
+        if self.train_batches < 0:
+            raise ConfigError("train_batches must be non-negative")
+        if self.parity_samples < 1:
+            raise ConfigError("parity_samples must be >= 1")
+
+    @classmethod
+    def smoke(cls) -> "CampaignConfig":
+        """CI-sized campaign: two fractions, two policies, one trial."""
+        return cls(
+            fault_fractions=(0.0, 0.08),
+            policies=("none", "spare"),
+            trials=1,
+            train_batches=1,
+        )
+
+
+@dataclass
+class CampaignRow:
+    """One (fraction, policy, trial) measurement."""
+
+    fraction: float
+    policy: str
+    trial: int
+    accuracy: float
+    n_stuck: int
+    cells_flagged: int
+    retries: int
+    row_remaps: int
+    migrations: int
+    tiles_unrepaired: int
+    deploy_energy_j: float
+    deploy_time_s: float
+    train_loss_first: float
+    train_loss_last: float
+    parity_ok: bool
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (stable key order) for exports."""
+        return {
+            "fraction": self.fraction,
+            "policy": self.policy,
+            "trial": self.trial,
+            "accuracy": self.accuracy,
+            "n_stuck": self.n_stuck,
+            "cells_flagged": self.cells_flagged,
+            "retries": self.retries,
+            "row_remaps": self.row_remaps,
+            "migrations": self.migrations,
+            "tiles_unrepaired": self.tiles_unrepaired,
+            "deploy_energy_j": self.deploy_energy_j,
+            "deploy_time_s": self.deploy_time_s,
+            "train_loss_first": self.train_loss_first,
+            "train_loss_last": self.train_loss_last,
+            "parity_ok": self.parity_ok,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results."""
+
+    config: CampaignConfig
+    clean_accuracy: float
+    rows: list[CampaignRow] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def mean_accuracy(self, fraction: float, policy: str) -> float:
+        """Trial-mean accuracy for one sweep cell."""
+        accs = [
+            r.accuracy
+            for r in self.rows
+            if r.fraction == fraction and r.policy == policy
+        ]
+        if not accs:
+            raise ConfigError(f"no rows for fraction={fraction}, policy={policy}")
+        return float(np.mean(accs))
+
+    def recovery(self, fraction: float, policy: str) -> float:
+        """Fraction of the no-repair accuracy loss this policy recovers.
+
+        1.0 = back to clean accuracy, 0.0 = no better than no repair.
+        Undefined (returns 1.0) when no-repair loses nothing.
+        """
+        lost = self.clean_accuracy - self.mean_accuracy(fraction, "none")
+        if lost <= 1e-12:
+            return 1.0
+        regained = self.mean_accuracy(fraction, policy) - self.mean_accuracy(
+            fraction, "none"
+        )
+        return float(regained / lost)
+
+    def repair_overhead(self, fraction: float, policy: str) -> tuple[float, float]:
+        """(extra energy J, extra time s) at deploy vs the none policy."""
+        def mean(attr: str, pol: str) -> float:
+            vals = [
+                getattr(r, attr)
+                for r in self.rows
+                if r.fraction == fraction and r.policy == pol
+            ]
+            return float(np.mean(vals)) if vals else 0.0
+
+        return (
+            mean("deploy_energy_j", policy) - mean("deploy_energy_j", "none"),
+            mean("deploy_time_s", policy) - mean("deploy_time_s", "none"),
+        )
+
+    @property
+    def parity_ok(self) -> bool:
+        """True when every run's batched/per-sample spot check agreed."""
+        return all(r.parity_ok for r in self.rows)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII summary: accuracy/recovery/overhead per sweep cell."""
+        has_none = "none" in self.config.policies
+        table_rows = []
+        for fraction in self.config.fault_fractions:
+            for policy in self.config.policies:
+                acc = self.mean_accuracy(fraction, policy)
+                rec = self.recovery(fraction, policy) if has_none else float("nan")
+                energy, time_s = (
+                    self.repair_overhead(fraction, policy)
+                    if has_none
+                    else (float("nan"), float("nan"))
+                )
+                sub = [
+                    r
+                    for r in self.rows
+                    if r.fraction == fraction and r.policy == policy
+                ]
+                table_rows.append(
+                    [
+                        fraction * 100,
+                        policy,
+                        acc,
+                        rec,
+                        int(np.mean([r.row_remaps for r in sub])),
+                        int(np.mean([r.migrations for r in sub])),
+                        energy * 1e6,
+                        time_s * 1e6,
+                    ]
+                )
+        text = format_table(
+            [
+                "stuck (%)",
+                "policy",
+                "accuracy",
+                "recovery",
+                "remaps",
+                "migr",
+                "repair energy (uJ)",
+                "repair time (us)",
+            ],
+            table_rows,
+            title=(
+                f"Fault campaign: dims={list(self.config.dims)}, "
+                f"{self.config.trials} trial(s), clean accuracy "
+                f"{self.clean_accuracy:.3f}"
+            ),
+        )
+        text += f"\n\nbatched/per-sample parity: {'OK' if self.parity_ok else 'VIOLATED'}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+def _reference_weights(config: CampaignConfig) -> tuple[list[np.ndarray], Dataset]:
+    """Train the digital reference classifier; return (weights, test set)."""
+    data = make_blobs(
+        n_samples=config.n_samples,
+        n_features=config.dims[0],
+        n_classes=config.dims[-1],
+        spread=1.2,
+        seed=config.seed + 5,
+    )
+    data = Dataset(x=np.clip(standardize(data.x) / 3, -1, 1), y=data.y)
+    train, test = data.split(0.8, seed=1)
+    mlp = DigitalMLP(list(config.dims), activation="gst", seed=7)
+    for epoch in range(config.reference_epochs):
+        for xb, yb in train.batches(16, seed=epoch):
+            mlp.train_step(xb, yb, lr=0.4)
+    return [w.copy() for w in mlp.weights], test
+
+
+def _build_accelerator(config: CampaignConfig, seed: int) -> TridentAccelerator:
+    arch = TridentConfig(
+        spare_rows=config.spare_rows,
+        # Stuck cells push whole-tile convergence below the default floor
+        # by design; the campaign reports fault metrics itself, so the
+        # warning would be noise here.
+        convergence_floor=0.0,
+    )
+    acc = TridentAccelerator(
+        config=arch, seed=seed, program_verify=ProgramVerifyConfig()
+    )
+    acc.map_mlp(list(config.dims))
+    return acc
+
+
+def _check_parity(acc: TridentAccelerator, xs: np.ndarray) -> bool:
+    """Batched vs per-sample forward: outputs + event counters must agree."""
+    before = acc.counters.snapshot()
+    out_batch = acc.forward_batch(xs)
+    batch_delta = acc.counters.diff(before).as_dict()
+    before = acc.counters.snapshot()
+    out_sample = np.stack([acc.forward(x) for x in xs])
+    sample_delta = acc.counters.diff(before).as_dict()
+    return bool(np.allclose(out_batch, out_sample)) and batch_delta == sample_delta
+
+
+def _training_survives(
+    acc: TridentAccelerator,
+    manager: FaultManager,
+    test: Dataset,
+    config: CampaignConfig,
+) -> tuple[float, float]:
+    """Run a few in-situ steps with repair sweeps between them.
+
+    Returns (first loss, last loss); NaN/inf losses mean training died.
+    """
+    if config.train_batches == 0:
+        return (float("nan"), float("nan"))
+    trainer = InSituTrainer(acc, lr=config.train_lr)
+    first = last = float("nan")
+    for step, (xb, yb) in enumerate(
+        test.batches(16, seed=config.seed + 11)
+    ):
+        if step >= config.train_batches:
+            break
+        loss = trainer.train_step(xb, yb)
+        # The update reprogram re-screened every tile; sweep repairs so
+        # newly crossed thresholds never linger into the next step.
+        manager.repair()
+        if step == 0:
+            first = loss
+        last = loss
+    return (float(first), float(last))
+
+
+def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
+    """Execute the full sweep; returns the populated report."""
+    config = config or CampaignConfig()
+    weights, test = _reference_weights(config)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", WriteConvergenceWarning)
+        # Clean (fault-free) reference accuracy on the photonic hardware.
+        clean_acc = _build_accelerator(config, seed=config.seed)
+        clean_acc.set_weights([w.copy() for w in weights])
+        clean = float(
+            np.mean(
+                np.argmax(clean_acc.forward_batch(test.x), axis=1) == test.y
+            )
+        )
+        report = CampaignReport(config=config, clean_accuracy=clean)
+
+        for f_index, fraction in enumerate(config.fault_fractions):
+            for policy in config.policies:
+                for trial in range(config.trials):
+                    # Same (fraction, trial) seed across policies: every
+                    # policy faces the identical fault pattern and noise
+                    # stream, so policy deltas are paired comparisons.
+                    seed = config.seed + 1000 * f_index + trial
+                    acc = _build_accelerator(config, seed=seed)
+                    n_stuck = acc.inject_stuck_faults(
+                        fraction, stuck_level=config.stuck_level
+                    )
+                    detector = FaultDetector().attach(acc)
+                    manager = FaultManager(
+                        acc,
+                        detector=detector,
+                        config=RepairConfig(policy=policy),
+                    )
+                    log = manager.deploy([w.copy() for w in weights])
+                    deploy_energy = acc.energy_estimate_j()
+                    deploy_time = acc.time_estimate_s()
+                    pred = np.argmax(acc.forward_batch(test.x), axis=1)
+                    accuracy = float(np.mean(pred == test.y))
+                    parity = _check_parity(
+                        acc, test.x[: config.parity_samples]
+                    )
+                    first, last = _training_survives(
+                        acc, manager, test, config
+                    )
+                    report.rows.append(
+                        CampaignRow(
+                            fraction=fraction,
+                            policy=policy,
+                            trial=trial,
+                            accuracy=accuracy,
+                            n_stuck=n_stuck,
+                            cells_flagged=detector.total_flagged,
+                            retries=log.retries,
+                            row_remaps=log.row_remaps,
+                            migrations=log.migrations,
+                            tiles_unrepaired=log.tiles_unrepaired,
+                            deploy_energy_j=deploy_energy,
+                            deploy_time_s=deploy_time,
+                            train_loss_first=first,
+                            train_loss_last=last,
+                            parity_ok=parity,
+                        )
+                    )
+    return report

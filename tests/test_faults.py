@@ -1,0 +1,390 @@
+"""Runtime fault management: detection, repair ladder, campaign engine."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import TridentAccelerator, TridentConfig
+from repro.arch.weight_bank import WeightBank
+from repro.cli import main
+from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
+from repro.errors import (
+    ConfigError,
+    FaultError,
+    ProgrammingError,
+    RepairError,
+    WriteConvergenceWarning,
+)
+from repro.eval.export import export_fault_campaign
+from repro.faults import (
+    BankFaultMap,
+    CampaignConfig,
+    FaultDetector,
+    FaultManager,
+    RepairConfig,
+    RepairPolicy,
+    run_campaign,
+)
+
+
+def _verified_acc(seed=0, spare_rows=4, n_pes=44, floor=0.0):
+    acc = TridentAccelerator(
+        config=TridentConfig(
+            n_pes=n_pes, spare_rows=spare_rows, convergence_floor=floor
+        ),
+        seed=seed,
+        program_verify=ProgramVerifyConfig(),
+    )
+    acc.map_mlp([10, 14, 3])
+    return acc
+
+
+class TestErrors:
+    def test_fault_error_aliases_programming_error(self):
+        # Deprecation compatibility: old except-sites keep working.
+        assert issubclass(FaultError, ProgrammingError)
+        bank = WeightBank()
+        with pytest.raises(FaultError):
+            bank.inject_stuck_faults(1.5, np.random.default_rng(0))
+        with pytest.raises(ProgrammingError):
+            bank.inject_stuck_faults(-0.1, np.random.default_rng(0))
+        with pytest.raises(FaultError):
+            bank.inject_stuck_faults(0.1, np.random.default_rng(0), stuck_level=999)
+
+    def test_repair_error_for_exhausted_spares(self):
+        bank = WeightBank(spare_rows=0)
+        with pytest.raises(RepairError):
+            bank.remap_row(0)
+
+
+class TestConvergenceReadback:
+    def test_unconverged_fraction_zero_without_verify(self):
+        bank = WeightBank()
+        bank.program(np.full((4, 4), 0.5))
+        assert bank.unconverged_fraction == 0.0
+        assert bank.last_converged is None
+
+    def test_converged_mask_stored(self, rng):
+        bank = WeightBank()
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        _, result = bank.program_verified(rng.uniform(-1, 1, (8, 8)), writer)
+        assert bank.last_converged is not None
+        assert bank.last_converged.shape == (8, 8)
+        assert bank.unconverged_fraction == pytest.approx(
+            1.0 - result.convergence_rate
+        )
+
+    def test_stuck_cells_never_converge(self, rng):
+        bank = WeightBank()
+        bank.inject_stuck_faults(1.0, rng, stuck_level=254)
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", WriteConvergenceWarning)
+            _, result = bank.program_verified(np.full((6, 6), -0.9), writer)
+        assert result.convergence_rate == 0.0
+        # Frozen cells burn the full pulse budget — the wear signal.
+        assert np.all(result.pulses == writer.config.max_iterations)
+        assert bank.unconverged_fraction == 1.0
+
+    def test_warning_below_floor(self, rng):
+        bank = WeightBank(convergence_floor=0.99)
+        bank.inject_stuck_faults(0.5, rng, stuck_level=254)
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        with pytest.warns(WriteConvergenceWarning):
+            bank.program_verified(np.full((8, 8), -0.5), writer)
+
+    def test_no_warning_at_floor_zero(self, rng):
+        bank = WeightBank(convergence_floor=0.0)
+        bank.inject_stuck_faults(0.5, rng, stuck_level=254)
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", WriteConvergenceWarning)
+            bank.program_verified(np.full((8, 8), -0.5), writer)
+
+
+class TestSpareRemap:
+    def test_remap_moves_logical_row(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        w = rng.uniform(-1, 1, (4, 4))
+        bank.program(w)
+        new_phys = bank.remap_row(1)
+        assert new_phys == 4  # first spare
+        assert bank.remapped_rows == {1: 4}
+        assert 4 not in bank.free_spare_rows
+
+    def test_mvm_refused_until_reprogram(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=1)
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        bank.remap_row(0)
+        with pytest.raises(ProgrammingError):
+            bank.matvec(np.zeros(4))
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        bank.matvec(np.zeros(4))  # streams again
+
+    def test_remap_routes_around_stuck_row(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        # Stick the whole of physical row 2, then remap logical row 2.
+        bank._stuck_mask[2, :] = True
+        bank._stuck_levels[2, :] = 0
+        w = rng.uniform(-0.5, 0.5, (4, 4))
+        bank.program(w)
+        assert not np.allclose(bank.logical_weights[2], w[2], atol=bank.weight_step)
+        bank.remap_row(2)
+        bank.program(w)
+        assert np.allclose(bank.logical_weights[2], w[2], atol=bank.weight_step)
+
+    def test_specific_spare_must_be_free(self):
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        bank.remap_row(0, spare_physical=5)
+        with pytest.raises(RepairError):
+            bank.remap_row(1, spare_physical=5)
+        with pytest.raises(FaultError):
+            bank.remap_row(99)
+
+    def test_row_stuck_counts_follow_the_map(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=1)
+        bank._stuck_mask[0, :2] = True
+        assert list(bank.row_stuck_counts()) == [2, 0, 0, 0]
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        bank.remap_row(0)
+        assert list(bank.row_stuck_counts()) == [0, 0, 0, 0]
+
+
+class TestSelftest:
+    def test_selftest_flags_stuck_cells(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        bank.inject_stuck_faults(0.3, rng, stuck_level=254)
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        fault_map = BankFaultMap(bank.physical_rows, bank.cols)
+        for result in bank.selftest(writer):
+            fault_map.observe_physical(result)
+        # Level 254 sits far from both test patterns: every stuck cell
+        # collects two strikes and is flagged; healthy cells almost
+        # surely converge at least once.
+        assert np.array_equal(fault_map.faulty, bank._stuck_mask)
+
+    def test_selftest_charges_accounting_and_blocks_mvm(self, rng):
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        bank.program(rng.uniform(-1, 1, (4, 4)))
+        before = bank.stats.write_energy_j
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        bank.selftest(writer)
+        assert bank.stats.write_energy_j > before  # BIST is not free
+        with pytest.raises(ProgrammingError):
+            bank.matvec(np.zeros(4))
+
+    def test_selftest_validates_levels(self, rng):
+        bank = WeightBank()
+        writer = ProgramVerifyWriter(ProgramVerifyConfig(), rng=rng)
+        with pytest.raises(FaultError):
+            bank.selftest(writer, test_levels=(300,))
+        with pytest.raises(FaultError):
+            bank.selftest(writer, test_levels=())
+
+
+class TestDetector:
+    def test_strikes_require_persistence(self):
+        fault_map = BankFaultMap(4, 4, strike_threshold=2)
+
+        class R:
+            def __init__(self, conv):
+                self.converged = conv
+
+        class B:
+            active_row_map = np.arange(4)
+
+        miss = np.ones((4, 4), dtype=bool)
+        miss[0, 0] = False
+        fault_map.observe(B(), R(miss))
+        assert not fault_map.faulty.any()  # one strike is not a fault
+        fault_map.observe(B(), R(miss))
+        assert fault_map.faulty[0, 0] and fault_map.faulty.sum() == 1
+        # A converged write clears the record — transient, not worn.
+        fault_map.observe(B(), R(np.ones((4, 4), dtype=bool)))
+        assert not fault_map.faulty.any() and not fault_map.strikes.any()
+
+    def test_detector_attaches_to_accelerator_writes(self, rng):
+        acc = _verified_acc()
+        detector = FaultDetector().attach(acc)
+        acc.inject_stuck_faults(0.1, stuck_level=254)
+        acc.set_weights(
+            [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        )
+        assert set(detector.maps) == {0, 1}
+        assert all(m.writes_observed == 1 for m in detector.maps.values())
+        # One write = one strike: nothing flagged yet at threshold 2.
+        assert detector.total_flagged == 0
+        acc.set_weights(
+            [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        )
+        assert detector.total_flagged > 0
+
+    def test_check_drift(self):
+        detector = FaultDetector()
+        fresh = detector.check_drift(age_s=0.0, temperature_k=358.15)
+        assert not fresh.needs_refresh
+        old = detector.check_drift(age_s=3.15e8, temperature_k=400.0)
+        assert old.needs_refresh
+        with pytest.raises(ConfigError):
+            detector.check_drift(age_s=-1.0)
+
+
+class TestRepairLadder:
+    def test_policy_parse_and_tiers(self):
+        assert RepairPolicy.parse("spare") is RepairPolicy.SPARE
+        assert RepairPolicy.parse(RepairPolicy.NONE) is RepairPolicy.NONE
+        assert (
+            RepairPolicy.NONE.tier
+            < RepairPolicy.RETRY.tier
+            < RepairPolicy.SPARE.tier
+            < RepairPolicy.REMAP.tier
+        )
+        with pytest.raises(ConfigError):
+            RepairPolicy.parse("nuke-from-orbit")
+
+    def test_manager_requires_verify(self):
+        acc = TridentAccelerator()
+        acc.map_mlp([10, 14, 3])
+        with pytest.raises(ConfigError):
+            FaultManager(acc, config=RepairConfig(policy="spare"))
+        FaultManager(acc, config=RepairConfig(policy="none"))  # fine
+
+    def test_retry_cannot_fix_stuck_cells(self, rng):
+        acc = _verified_acc(seed=3)
+        acc.inject_stuck_faults(0.1, stuck_level=254)
+        manager = FaultManager(acc, config=RepairConfig(policy="retry"))
+        weights = [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        log = manager.deploy(weights)
+        assert log.retries > 0
+        assert log.row_remaps == 0 and log.migrations == 0
+        assert log.tiles_unrepaired > 0  # degraded, gracefully
+
+    def test_spare_policy_repairs_and_recovers_weights(self, rng):
+        acc = _verified_acc(seed=3, spare_rows=8)
+        acc.inject_stuck_faults(0.05, stuck_level=254)
+        manager = FaultManager(acc, config=RepairConfig(policy="spare"))
+        weights = [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        log = manager.deploy(weights)
+        assert log.row_remaps > 0
+        for layer, w in zip(acc.layers, weights):
+            bank = acc.pes[layer.tiles[0][4]].bank
+            r, c = w.shape
+            realized = bank.logical_weights[:r, :c]
+            # 3 sigma of write noise on top of the half-step quantization.
+            assert np.allclose(
+                realized, w / layer.weight_scale, atol=5 * bank.weight_step
+            )
+
+    def test_remap_policy_migrates_when_spares_cannot_help(self, rng):
+        acc = _verified_acc(seed=1, spare_rows=1)
+        # Heavy damage on a bank with a single spare forces migration.
+        acc.inject_stuck_faults(0.3, stuck_level=254)
+        n_pes_before = len(acc.pes)
+        manager = FaultManager(
+            acc, config=RepairConfig(policy="remap", max_migrations=2)
+        )
+        weights = [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        log = manager.deploy(weights)
+        assert log.migrations >= 1
+        assert len(acc.pes) == n_pes_before + log.migrations
+        # Migrated tiles point at the new PEs and still stream.
+        acc.forward_batch(rng.uniform(-1, 1, (4, 10)))
+
+    def test_migration_respects_pe_budget(self, rng):
+        acc = _verified_acc(seed=1, spare_rows=0, n_pes=2)
+        acc.inject_stuck_faults(0.3, stuck_level=254)
+        manager = FaultManager(
+            acc, config=RepairConfig(policy="remap", screen_spares=False)
+        )
+        log = manager.deploy(
+            [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        )
+        assert log.migrations == 0  # budget already full: degrade instead
+        assert log.tiles_unrepaired > 0
+
+    def test_repairs_are_charged(self, rng):
+        weights = [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        energies = {}
+        for policy in ("none", "spare"):
+            acc = _verified_acc(seed=3, spare_rows=8)
+            acc.inject_stuck_faults(0.05, stuck_level=254)
+            FaultManager(acc, config=RepairConfig(policy=policy)).deploy(
+                [w.copy() for w in weights]
+            )
+            energies[policy] = (acc.energy_estimate_j(), acc.time_estimate_s())
+        assert energies["spare"][0] > energies["none"][0]
+        assert energies["spare"][1] > energies["none"][1]
+
+    def test_maybe_refresh(self, rng):
+        acc = _verified_acc(seed=0)
+        manager = FaultManager(acc, config=RepairConfig(policy="retry"))
+        acc.set_weights(
+            [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        )
+        writes_before = acc.counters.bank_writes
+        assert not manager.maybe_refresh(age_s=60.0, temperature_k=300.0)
+        assert acc.counters.bank_writes == writes_before
+        assert manager.maybe_refresh(age_s=3.15e8, temperature_k=400.0)
+        assert acc.counters.bank_writes == writes_before + 2
+        assert manager.log.refreshes == 1
+
+
+class TestAcceleratorPlumbing:
+    def test_seeded_runs_are_bit_identical(self, rng):
+        weights = [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        realized = []
+        for _ in range(2):
+            acc = _verified_acc(seed=42)
+            acc.inject_stuck_faults(0.1, stuck_level=254)
+            acc.set_weights([w.copy() for w in weights])
+            realized.append(
+                [pe.bank.realized_weights.copy() for pe in acc.pes]
+            )
+        for a, b in zip(*realized):
+            assert np.array_equal(a, b)
+
+    def test_migrate_tile_requires_budget(self, rng):
+        acc = TridentAccelerator(config=TridentConfig(n_pes=2))
+        acc.map_mlp([10, 14, 3])
+        with pytest.raises(RepairError):
+            acc.migrate_tile(0, 0)
+
+    def test_reprogram_tile_before_weights_raises(self):
+        acc = _verified_acc()
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError):
+            acc.reprogram_tile(0, 0)
+
+
+class TestCampaign:
+    def test_smoke_campaign_end_to_end(self, tmp_path):
+        report = run_campaign(CampaignConfig.smoke())
+        assert report.parity_ok
+        assert len(report.rows) == 4  # 2 fractions x 2 policies x 1 trial
+        assert 0.0 <= report.clean_accuracy <= 1.0
+        # Training survived every run (finite losses).
+        assert all(np.isfinite(r.train_loss_last) for r in report.rows)
+        paths = export_fault_campaign(report, tmp_path)
+        assert [p.name for p in paths] == [
+            "fault_campaign.csv",
+            "fault_campaign.json",
+        ]
+        assert all(p.exists() and p.stat().st_size > 0 for p in paths)
+
+    def test_campaign_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(fault_fractions=())
+        with pytest.raises(ConfigError):
+            CampaignConfig(fault_fractions=(1.5,))
+        with pytest.raises(ConfigError):
+            CampaignConfig(policies=("bogus",))
+        with pytest.raises(ConfigError):
+            CampaignConfig(trials=0)
+
+    def test_cli_faults_smoke(self, capsys):
+        assert main(["faults", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "parity: OK" in out

@@ -315,3 +315,102 @@ class TestProgramVerifyProperties:
         assert np.all(result.achieved_levels <= 254)
         assert np.all(result.pulses >= 1)
         assert np.all(result.pulses <= 10)
+
+
+class TestRepairProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        w=arrays(np.float64, st.tuples(st.integers(2, 8), st.integers(1, 8)),
+                 elements=weights),
+        data=st.data(),
+    )
+    def test_spare_remap_preserves_healthy_rows(self, w, data):
+        """Remapping one logical row must not move any other row's
+        realized weights — the spare routing change is row-local."""
+        rows = w.shape[0]
+        bank = WeightBank(rows=rows, cols=w.shape[1], spare_rows=2)
+        bank.program(w)
+        before = bank.logical_weights
+        victim = data.draw(st.integers(0, rows - 1))
+        bank.remap_row(victim)
+        bank.program(w)
+        after = bank.logical_weights
+        healthy = [r for r in range(rows) if r != victim]
+        assert np.array_equal(before[healthy], after[healthy])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        fraction=st.floats(0.0, 0.15),
+        batch=st.integers(1, 6),
+    )
+    def test_symbol_parity_under_faults_and_repair(self, seed, fraction, batch):
+        """forward and forward_batch must agree symbol-for-symbol (and on
+        outputs) with stuck faults injected and repair remaps active."""
+        import warnings
+
+        from repro import TridentAccelerator, TridentConfig
+        from repro.devices.program_verify import ProgramVerifyConfig
+        from repro.errors import WriteConvergenceWarning
+        from repro.faults import FaultManager, RepairConfig
+
+        rng = np.random.default_rng(seed)
+        acc = TridentAccelerator(
+            config=TridentConfig(spare_rows=4, convergence_floor=0.0),
+            seed=seed,
+            program_verify=ProgramVerifyConfig(),
+        )
+        acc.map_mlp([6, 8, 3])
+        acc.inject_stuck_faults(fraction, stuck_level=254)
+        manager = FaultManager(acc, config=RepairConfig(policy="spare"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", WriteConvergenceWarning)
+            manager.deploy(
+                [rng.uniform(-1, 1, (8, 6)), rng.uniform(-1, 1, (3, 8))]
+            )
+        xs = rng.uniform(-1, 1, (batch, 6))
+        before = acc.counters.snapshot()
+        out_batch = acc.forward_batch(xs)
+        batch_delta = acc.counters.diff(before).as_dict()
+        before = acc.counters.snapshot()
+        out_sample = np.stack([acc.forward(x) for x in xs])
+        sample_delta = acc.counters.diff(before).as_dict()
+        assert batch_delta == sample_delta
+        assert np.allclose(out_batch, out_sample)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        w=arrays(np.float64, st.tuples(st.integers(2, 6), st.integers(1, 6)),
+                 elements=weights),
+        data=st.data(),
+    )
+    def test_fully_repaired_bank_matches_never_faulted(self, w, data):
+        """After every stuck row is remapped onto clean spares, the bank's
+        logical weights must match a never-faulted bank's within the
+        quantization step (here: exactly — the writer is noise-free)."""
+        from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
+
+        rows, cols = w.shape
+        exact = ProgramVerifyConfig(
+            write_std_levels=0.0, read_std_levels=0.0, max_iterations=2
+        )
+        clean_bank = WeightBank(rows=rows, cols=cols, spare_rows=rows)
+        clean_bank.program_verified(w, ProgramVerifyWriter(exact, seed=0))
+        reference = clean_bank.logical_weights
+
+        faulty_bank = WeightBank(
+            rows=rows, cols=cols, spare_rows=rows, convergence_floor=0.0
+        )
+        n_bad = data.draw(st.integers(1, rows))
+        bad_rows = data.draw(
+            st.lists(st.integers(0, rows - 1), min_size=n_bad, max_size=n_bad,
+                     unique=True)
+        )
+        for row in bad_rows:
+            faulty_bank._stuck_mask[row, :] = True
+            faulty_bank._stuck_levels[row, :] = 254
+        for row in bad_rows:
+            faulty_bank.remap_row(row)
+        faulty_bank.program_verified(w, ProgramVerifyWriter(exact, seed=0))
+        assert np.max(np.abs(faulty_bank.logical_weights - reference)) \
+            <= faulty_bank.weight_step
