@@ -27,6 +27,9 @@ Sub-packages:
 - :mod:`repro.faults` — runtime fault management: online detection from
   program-verify readback, spare-ring repair, tile remapping, and the
   fault-injection campaign engine.
+- :mod:`repro.runtime` — crash-safe checkpoint/restore (hash-verified,
+  atomically written snapshots of the full physical state) and the
+  resilient training harness with divergence rollback and LR backoff.
 - :mod:`repro.eval` — regeneration of every table and figure.
 """
 
@@ -35,11 +38,13 @@ from repro.arch.config import TridentConfig
 from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
 from repro.devices.noise import NoiseModel
 from repro.faults import FaultDetector, FaultManager, RepairConfig, RepairPolicy
+from repro.runtime import CheckpointStore, ResilienceConfig, ResilientTrainer
 from repro.training.insitu import InSituTrainer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointStore",
     "FaultDetector",
     "FaultManager",
     "InSituTrainer",
@@ -48,6 +53,8 @@ __all__ = [
     "PhotonicCostModel",
     "RepairConfig",
     "RepairPolicy",
+    "ResilienceConfig",
+    "ResilientTrainer",
     "TridentAccelerator",
     "TridentConfig",
     "__version__",

@@ -313,6 +313,131 @@ class TridentAccelerator:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> dict:
+        """Construction-time invariants a snapshot must match to load."""
+        return {
+            "bank_rows": self.config.bank_rows,
+            "bank_cols": self.config.bank_cols,
+            "spare_rows": self.config.spare_rows,
+            "n_pes": self.config.n_pes,
+            "levels": self.config.tuning.levels,
+            "programming_noise_levels": self.programming_noise_levels,
+            "program_verify": self.program_verify is not None,
+            "noise_enabled": self.noise.enabled,
+        }
+
+    def state_dict(self) -> dict:
+        """Versionable snapshot of the *entire* physically realized state.
+
+        Covers every mutable thing the accelerator owns: per-PE bank state
+        (GST levels, stuck/converged masks, spare pools, remap tables,
+        write/wear counters), LDSU bits, TIA gains, activation-cell wear,
+        the layer mapping with its digital weight shadows and recorded
+        forward activations, the event counters, the control unit's mode,
+        and the threaded RNG's bit-generator state (which the shared
+        program-verify writer draws from).  Restoring it with
+        :meth:`load_state_dict` reproduces subsequent ``forward`` /
+        ``train_step`` outputs bit-for-bit.
+        """
+
+        def opt(a: np.ndarray | None) -> np.ndarray | None:
+            return None if a is None else a.copy()
+
+        return {
+            "fingerprint": self._fingerprint(),
+            "counters": self.counters.as_dict(),
+            "control": self.control.state_dict(),
+            "rng_state": self.rng.bit_generator.state,
+            "noise_rng_state": self.noise.rng.bit_generator.state,
+            "pes": [pe.state_dict() for pe in self.pes],
+            "layers": [
+                {
+                    "index": layer.index,
+                    "out_dim": layer.out_dim,
+                    "in_dim": layer.in_dim,
+                    "apply_activation": layer.apply_activation,
+                    "tiles": [list(tile) for tile in layer.tiles],
+                    "weights": opt(layer.weights),
+                    "weight_scale": layer.weight_scale,
+                    "last_input": opt(layer.last_input),
+                    "last_logits": opt(layer.last_logits),
+                    "last_input_batch": opt(layer.last_input_batch),
+                    "last_logits_batch": opt(layer.last_logits_batch),
+                }
+                for layer in self.layers
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The accelerator must have been constructed with the same geometry,
+        level grid, and program-verify/noise setup the snapshot was taken
+        under (the snapshot's fingerprint is checked first —
+        :class:`~repro.errors.CheckpointError` on mismatch).  PEs are
+        re-allocated to the snapshot's count, so a snapshot taken after
+        tile migrations restores the migrated mapping exactly.  The RNG is
+        restored *in place*, keeping the program-verify writer (which
+        shares the generator object) on the snapshot's draw stream.
+        """
+        from repro.errors import CheckpointError
+
+        fingerprint = self._fingerprint()
+        saved = state["fingerprint"]
+        mismatched = [
+            f"{key}: snapshot {saved.get(key)!r} != this accelerator {value!r}"
+            for key, value in fingerprint.items()
+            if saved.get(key) != value
+        ]
+        if mismatched:
+            raise CheckpointError(
+                "snapshot was taken on an incompatible accelerator — "
+                + "; ".join(mismatched)
+            )
+        if len(state["pes"]) > self.config.n_pes:
+            raise CheckpointError(
+                f"snapshot allocates {len(state['pes'])} PEs but the "
+                f"configuration has {self.config.n_pes}"
+            )
+
+        self.pes = []
+        for pe_state in state["pes"]:
+            self._new_pe().load_state_dict(pe_state)
+
+        def opt(a) -> np.ndarray | None:
+            return None if a is None else np.asarray(a, dtype=np.float64)
+
+        self.layers = [
+            MappedLayer(
+                index=int(spec["index"]),
+                out_dim=int(spec["out_dim"]),
+                in_dim=int(spec["in_dim"]),
+                apply_activation=bool(spec["apply_activation"]),
+                tiles=[tuple(int(v) for v in tile) for tile in spec["tiles"]],
+                weights=opt(spec["weights"]),
+                weight_scale=float(spec["weight_scale"]),
+                last_input=opt(spec["last_input"]),
+                last_logits=opt(spec["last_logits"]),
+                last_input_batch=opt(spec["last_input_batch"]),
+                last_logits_batch=opt(spec["last_logits_batch"]),
+            )
+            for spec in state["layers"]
+        ]
+        counters = state["counters"]
+        self.counters = EventCounters(
+            bank_writes=int(counters["bank_writes"]),
+            cells_written=int(counters["cells_written"]),
+            symbols=int(counters["symbols"]),
+            activation_events=int(counters["activation_events"]),
+            mode_switches=int(counters["mode_switches"]),
+        )
+        self.control.load_state_dict(state["control"])
+        self.rng.bit_generator.state = state["rng_state"]
+        self.noise.rng.bit_generator.state = state["noise_rng_state"]
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, record: bool = False) -> np.ndarray:

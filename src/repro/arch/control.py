@@ -145,3 +145,16 @@ class ControlUnit:
     def encoding_for(self, mode: OperatingMode | None = None) -> dict[str, str]:
         """What each device encodes in the given (or current) mode."""
         return table2_mapping()[mode or self.mode]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the current mode and transition counter."""
+        return {"mode": self.mode.value, "mode_switches": self.mode_switches}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        try:
+            self.mode = OperatingMode(state["mode"])
+        except ValueError as exc:
+            raise DeviceError(f"unknown operating mode {state['mode']!r}") from exc
+        self.mode_switches = int(state["mode_switches"])

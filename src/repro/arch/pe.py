@@ -249,6 +249,26 @@ class ProcessingElement:
         return detected.transpose(0, 2, 1)  # (B, d, y)
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of everything mutable in the PE: bank state, LDSU
+        bits, TIA gains, and the activation cell's wear counters."""
+        return {
+            "bank": self.bank.state_dict(),
+            "ldsu": self.ldsu.state_dict(),
+            "tia_gains": self._tia_gains(),
+            "activation": self.activation.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this PE."""
+        self.bank.load_state_dict(state["bank"])
+        self.ldsu.load_state_dict(state["ldsu"])
+        self.set_tia_gains(np.asarray(state["tia_gains"], dtype=np.float64))
+        self.activation.load_state_dict(state["activation"])
+
+    # ------------------------------------------------------------------
     @property
     def write_energy_j(self) -> float:
         """Total programming energy spent by this PE's bank."""

@@ -577,6 +577,99 @@ class WeightBank:
         self._needs_reprogram = True
         return results
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of every mutable bank state: physical GST levels,
+        realized/occupancy/stuck/converged masks, the row-remap table and
+        spare pool, and the cumulative write/usage counters.  Arrays are
+        copies; the snapshot is safe to hold across further bank use."""
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "spare_rows": self.spare_rows,
+            "levels": self.levels,
+            "levels_array": self._levels.copy(),
+            "realized": self._realized.copy(),
+            "mask": self._mask.copy(),
+            "stuck_mask": self._stuck_mask.copy(),
+            "stuck_levels": self._stuck_levels.copy(),
+            "row_map": self._row_map.copy(),
+            "spare_pool": list(self._spare_pool),
+            "needs_reprogram": self._needs_reprogram,
+            "last_converged": (
+                None if self._last_converged is None else self._last_converged.copy()
+            ),
+            "last_level_errors": (
+                None
+                if self._last_level_errors is None
+                else self._last_level_errors.copy()
+            ),
+            "unconverged_mask": self._unconverged_mask.copy(),
+            "stats": {
+                "write_events": self.stats.write_events,
+                "cells_written": self.stats.cells_written,
+                "write_energy_j": self.stats.write_energy_j,
+                "write_time_s": self.stats.write_time_s,
+                "symbols": self.stats.symbols,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this bank.
+
+        The bank must have been constructed with the same geometry and
+        level grid; a mismatch raises
+        :class:`~repro.errors.CheckpointError` rather than silently
+        loading a foreign snapshot.
+        """
+        from repro.errors import CheckpointError
+
+        for name, expected in (
+            ("rows", self.rows),
+            ("cols", self.cols),
+            ("spare_rows", self.spare_rows),
+            ("levels", self.levels),
+        ):
+            if int(state[name]) != expected:
+                raise CheckpointError(
+                    f"bank snapshot {name}={state[name]} does not match this "
+                    f"bank's {name}={expected}"
+                )
+        shape = (self.physical_rows, self.cols)
+        self._levels = np.asarray(state["levels_array"], dtype=np.int64).reshape(shape)
+        self._realized = np.asarray(state["realized"], dtype=np.float64).reshape(shape)
+        self._mask = np.asarray(state["mask"], dtype=bool).reshape(shape)
+        self._stuck_mask = np.asarray(state["stuck_mask"], dtype=bool).reshape(shape)
+        self._stuck_levels = np.asarray(state["stuck_levels"], dtype=np.int64).reshape(
+            shape
+        )
+        self._row_map = np.asarray(state["row_map"], dtype=np.int64).reshape(self.rows)
+        self._spare_pool = [int(s) for s in state["spare_pool"]]
+        self._needs_reprogram = bool(state["needs_reprogram"])
+        self._last_converged = (
+            None
+            if state["last_converged"] is None
+            else np.asarray(state["last_converged"], dtype=bool)
+        )
+        self._last_level_errors = (
+            None
+            if state["last_level_errors"] is None
+            else np.asarray(state["last_level_errors"], dtype=np.float64)
+        )
+        self._unconverged_mask = np.asarray(
+            state["unconverged_mask"], dtype=bool
+        ).reshape(shape)
+        stats = state["stats"]
+        self.stats = BankStats(
+            write_events=int(stats["write_events"]),
+            cells_written=int(stats["cells_written"]),
+            write_energy_j=float(stats["write_energy_j"]),
+            write_time_s=float(stats["write_time_s"]),
+            symbols=int(stats["symbols"]),
+        )
+
     def remap_row(self, logical_row: int, spare_physical: int | None = None) -> int:
         """Retire a logical row's physical ring row onto a spare row.
 

@@ -12,6 +12,11 @@ Usage (also via ``python -m repro``):
     python -m repro profile --dims 64 48 10 --batch 256
     python -m repro endurance resnet50
     python -m repro faults --smoke
+    python -m repro faults --checkpoint-dir ckpt   # crash-safe, resumable
+    python -m repro resume --checkpoint-dir ckpt   # continue after a crash
+    python -m repro resume --smoke                 # CI crash-resume gate
+    python -m repro train --steps 20 --inject-nan-step 7
+    python -m repro checkpoint ckpt/step_0000000010.ckpt
 """
 
 from __future__ import annotations
@@ -310,7 +315,141 @@ def cmd_faults(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
         )
-    report = run_campaign(config)
+    report = run_campaign(
+        config, checkpoint_dir=args.checkpoint_dir, max_cells=args.max_cells
+    )
+    print(report.render())
+    if args.export:
+        from repro.eval.export import export_fault_campaign
+
+        for path in export_fault_campaign(report, args.export):
+            print(path)
+    if not report.parity_ok:
+        print("PARITY VIOLATION between forward_batch and per-sample forward")
+        return 1
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Resilient in-situ training on the functional simulator.
+
+    Runs a small classifier through :class:`~repro.runtime.ResilientTrainer`:
+    checkpoints on a cadence, rolls back on divergence with exponential
+    learning-rate backoff, and can resume an interrupted run from its
+    checkpoint directory.  ``--inject-nan-step`` forces one NaN loss to
+    demonstrate the rollback ladder.
+    """
+    import tempfile
+
+    from repro.arch import TridentAccelerator, TridentConfig
+    from repro.devices.program_verify import ProgramVerifyConfig
+    from repro.nn.datasets import Dataset, make_blobs, standardize
+    from repro.runtime import ResilienceConfig, ResilientTrainer
+    from repro.training.insitu import InSituTrainer
+
+    import numpy as np
+
+    dims = list(args.dims)
+    rows = max(max(dims), 2)
+    arch = TridentConfig(
+        bank_rows=rows, bank_cols=rows, spare_rows=2, convergence_floor=0.0
+    )
+    acc = TridentAccelerator(
+        config=arch, seed=args.seed, program_verify=ProgramVerifyConfig()
+    )
+    acc.map_mlp(dims)
+    rng = np.random.default_rng(args.seed + 1)
+    acc.set_weights(
+        [
+            rng.normal(0.0, 0.4, (dims[i + 1], dims[i]))
+            for i in range(len(dims) - 1)
+        ]
+    )
+    raw = make_blobs(
+        n_samples=args.samples,
+        n_features=dims[0],
+        n_classes=dims[-1],
+        seed=args.seed + 2,
+    )
+    data = Dataset(x=np.clip(standardize(raw.x) / 3, -1, 1), y=raw.y)
+
+    hook = None
+    if args.inject_nan_step is not None:
+        fired = {"done": False}
+
+        def hook(step: int) -> float | None:
+            if step == args.inject_nan_step and not fired["done"]:
+                fired["done"] = True
+                return float("nan")
+            return None
+
+    directory = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-train-")
+    trainer = ResilientTrainer(
+        InSituTrainer(acc, lr=args.lr),
+        directory,
+        config=ResilienceConfig(checkpoint_every=args.checkpoint_every),
+        step_hook=hook,
+    )
+    report = trainer.run(
+        data,
+        steps=args.steps,
+        batch_size=args.batch,
+        seed=args.seed + 3,
+        resume=args.resume,
+        max_steps_this_run=args.max_steps,
+    )
+    print(report.render())
+    print(f"checkpoints in {directory}")
+    return 0 if report.completed else 1
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Inspect a checkpoint file: schema, kind, hash, integrity verdict."""
+    from repro.runtime import describe_checkpoint
+
+    info = describe_checkpoint(args.path)
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
+    return 0 if info.get("valid") else 1
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Resume an interrupted fault campaign from its checkpoint ledger.
+
+    With ``--smoke``, runs a self-contained crash-resume verification
+    instead: a small campaign is run once uninterrupted, once halted
+    after a single cell and resumed, and the two final reports must be
+    bit-identical (same rows, same clean accuracy).
+    """
+    from repro.faults import CampaignConfig, resume_campaign, run_campaign
+
+    if args.smoke:
+        import tempfile
+
+        config = CampaignConfig.smoke()
+        baseline = run_campaign(config)
+        with tempfile.TemporaryDirectory() as directory:
+            partial = run_campaign(config, checkpoint_dir=directory, max_cells=1)
+            resumed = resume_campaign(directory)
+        same = (
+            resumed.complete
+            and not partial.complete
+            and baseline.clean_accuracy == resumed.clean_accuracy
+            and [r.as_dict() for r in baseline.rows]
+            == [r.as_dict() for r in resumed.rows]
+        )
+        print(
+            f"crash-resume smoke: halted after {len(partial.rows)} cell(s), "
+            f"resumed to {len(resumed.rows)}/{len(baseline.rows)}"
+        )
+        print(f"bit-identical to uninterrupted run: {'OK' if same else 'MISMATCH'}")
+        return 0 if same else 1
+
+    if not args.checkpoint_dir:
+        print("repro resume: --checkpoint-dir is required (or use --smoke)")
+        return 2
+    report = resume_campaign(args.checkpoint_dir)
     print(report.render())
     if args.export:
         from repro.eval.export import export_fault_campaign
@@ -428,11 +567,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--export", metavar="DIR",
                    help="also write fault_campaign.{csv,json} to DIR")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="persist finished sweep cells for crash-safe resume")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="halt after executing this many new cells "
+                        "(crash simulation; resume later)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("endurance", help="PCM wear-out analysis for a model")
     p.add_argument("model")
     p.set_defaults(func=cmd_endurance)
+
+    p = sub.add_parser(
+        "train",
+        help="resilient in-situ training with checkpoints and rollback",
+    )
+    p.add_argument("--dims", type=int, nargs="+", default=[6, 8, 3])
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--samples", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="checkpoint directory (default: a fresh temp dir)")
+    p.add_argument("--checkpoint-every", type=int, default=5)
+    p.add_argument("--resume", action="store_true",
+                   help="restore the newest checkpoint before training")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="halt after this many executed steps "
+                        "(crash simulation; resume later)")
+    p.add_argument("--inject-nan-step", type=int, default=None,
+                   help="force a NaN loss at this step to demo rollback")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "checkpoint", help="inspect a checkpoint file (schema/kind/hash)"
+    )
+    p.add_argument("path")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume an interrupted fault campaign from its ledger",
+    )
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="directory holding campaign_cells.jsonl")
+    p.add_argument("--smoke", action="store_true",
+                   help="self-contained crash-resume verification (CI gate)")
+    p.add_argument("--export", metavar="DIR",
+                   help="also write fault_campaign.{csv,json} to DIR")
+    p.set_defaults(func=cmd_resume)
 
     return parser
 

@@ -147,3 +147,21 @@ class GSTActivationCell:
     def remaining_endurance(self) -> int:
         """Switching cycles left before the cell is out of spec."""
         return max(0, self.config.endurance_cycles - self.firing_events)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the wear counters and bypass flag."""
+        return {
+            "firing_events": self.firing_events,
+            "reset_energy_spent_j": self.reset_energy_spent_j,
+            "bypass": self.bypass,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        events = int(state["firing_events"])
+        if events < 0:
+            raise DeviceError(f"firing_events must be non-negative, got {events}")
+        self.firing_events = events
+        self.reset_energy_spent_j = float(state["reset_energy_spent_j"])
+        self.bypass = bool(state["bypass"])

@@ -146,3 +146,23 @@ class LDSU:
         """Reset all flip-flops and drop the batched bit plane."""
         self._bits = np.zeros(self.n_rows, dtype=bool)
         self._batch_bits = None
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the flip-flop bits and any held batched bit plane."""
+        return {
+            "bits": self._bits.copy(),
+            "batch_bits": None if self._batch_bits is None else self._batch_bits.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-checked)."""
+        bits = np.asarray(state["bits"], dtype=bool)
+        if bits.shape != (self.n_rows,):
+            raise DeviceError(
+                f"LDSU snapshot has {bits.shape[0] if bits.ndim else 0} rows, "
+                f"this LDSU has {self.n_rows}"
+            )
+        self._bits = bits.copy()
+        batch = state["batch_bits"]
+        self._batch_bits = None if batch is None else np.asarray(batch, dtype=bool)

@@ -39,6 +39,19 @@ class EnduranceExceededError(DeviceError):
     """A PCM cell exceeded its rated switching endurance."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or applied: corrupt or
+    truncated file, schema/hash mismatch, or a snapshot incompatible with
+    the accelerator it is being loaded into."""
+
+
+class TrainingAbortedError(ReproError):
+    """A resilient training run exhausted its rollback/retry budget and
+    aborted.  Raised only by APIs asked to abort loudly; the default
+    :class:`~repro.runtime.resilient.ResilientTrainer` path returns a
+    structured ``RunReport`` instead."""
+
+
 class MappingError(ReproError):
     """A neural-network layer could not be mapped onto the hardware."""
 

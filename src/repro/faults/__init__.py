@@ -25,6 +25,7 @@ from repro.faults.campaign import (
     CampaignConfig,
     CampaignReport,
     CampaignRow,
+    resume_campaign,
     run_campaign,
 )
 from repro.faults.detector import BankFaultMap, DriftHealth, FaultDetector
@@ -41,4 +42,6 @@ __all__ = [
     "RepairConfig",
     "RepairLog",
     "RepairPolicy",
+    "resume_campaign",
+    "run_campaign",
 ]

@@ -26,20 +26,29 @@ injection — identical configs reproduce bit-identical campaigns.
 
 from __future__ import annotations
 
+import json
+import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.arch.accelerator import TridentAccelerator
 from repro.arch.config import TridentConfig
 from repro.devices.program_verify import ProgramVerifyConfig
-from repro.errors import ConfigError, WriteConvergenceWarning
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultError,
+    WriteConvergenceWarning,
+)
 from repro.eval.formatting import format_table
 from repro.faults.detector import FaultDetector
 from repro.faults.repair import FaultManager, RepairConfig, RepairPolicy
 from repro.nn.datasets import Dataset, make_blobs, standardize
 from repro.nn.reference import DigitalMLP
+from repro.runtime.checkpoint import state_digest
 from repro.training.insitu import InSituTrainer
 
 
@@ -68,12 +77,21 @@ class CampaignConfig:
     n_samples: int = 300
 
     def __post_init__(self) -> None:
+        # Structural problems (malformed sweep shape, unknown policy name)
+        # stay ConfigError; numeric ranges raise FaultError so a campaign
+        # driver can distinguish "you typo'd the sweep" from "this sweep
+        # cannot physically run".
         if len(self.dims) < 2 or any(d < 1 for d in self.dims):
             raise ConfigError(f"dims must be >= 2 positive widths, got {self.dims}")
         if not self.fault_fractions:
-            raise ConfigError("need at least one fault fraction")
-        if any(not 0.0 <= f <= 1.0 for f in self.fault_fractions):
-            raise ConfigError("fault fractions must lie in [0, 1]")
+            raise FaultError(
+                "need at least one fault fraction (got an empty sweep)"
+            )
+        bad = [f for f in self.fault_fractions if not 0.0 <= f <= 1.0]
+        if bad:
+            raise FaultError(
+                f"fault fractions must lie in [0, 1]; out of range: {bad}"
+            )
         if not self.policies:
             raise ConfigError("need at least one policy")
         object.__setattr__(
@@ -82,11 +100,41 @@ class CampaignConfig:
             tuple(RepairPolicy.parse(p).value for p in self.policies),
         )
         if self.trials < 1:
-            raise ConfigError(f"trials must be >= 1, got {self.trials}")
+            raise FaultError(
+                f"trials must be >= 1, got {self.trials} "
+                "(a sweep cell with no trials measures nothing)"
+            )
+        if not 0 <= self.stuck_level <= 255:
+            raise FaultError(
+                f"stuck_level must be a level code in [0, 255], got "
+                f"{self.stuck_level}"
+            )
+        if self.spare_rows < 0:
+            raise FaultError(
+                f"spare_rows must be non-negative, got {self.spare_rows}"
+            )
+        if self.reference_epochs < 1:
+            raise FaultError(
+                f"reference_epochs must be >= 1, got {self.reference_epochs}"
+            )
         if self.train_batches < 0:
-            raise ConfigError("train_batches must be non-negative")
+            raise FaultError(
+                f"train_batches must be non-negative, got {self.train_batches} "
+                "(use 0 to skip the training-survival check)"
+            )
+        if self.train_lr <= 0:
+            raise FaultError(
+                f"train_lr must be positive, got {self.train_lr}"
+            )
         if self.parity_samples < 1:
-            raise ConfigError("parity_samples must be >= 1")
+            raise FaultError(
+                f"parity_samples must be >= 1, got {self.parity_samples}"
+            )
+        if self.n_samples < 10:
+            raise FaultError(
+                f"n_samples must be >= 10 to split train/test, got "
+                f"{self.n_samples}"
+            )
 
     @classmethod
     def smoke(cls) -> "CampaignConfig":
@@ -118,6 +166,9 @@ class CampaignRow:
     train_loss_first: float
     train_loss_last: float
     parity_ok: bool
+    #: Step index whose loss first went non-finite during the in-situ
+    #: training-survival check; None when training survived every step.
+    train_died_at_step: int | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dict view (stable key order) for exports."""
@@ -137,6 +188,7 @@ class CampaignRow:
             "train_loss_first": self.train_loss_first,
             "train_loss_last": self.train_loss_last,
             "parity_ok": self.parity_ok,
+            "train_died_at_step": self.train_died_at_step,
         }
 
 
@@ -147,6 +199,9 @@ class CampaignReport:
     config: CampaignConfig
     clean_accuracy: float
     rows: list[CampaignRow] = field(default_factory=list)
+    #: False when the sweep halted early (``max_cells`` budget) and some
+    #: cells are still missing — resume with the same checkpoint dir.
+    complete: bool = True
 
     # ------------------------------------------------------------------
     def mean_accuracy(self, fraction: float, policy: str) -> float:
@@ -201,18 +256,28 @@ class CampaignReport:
         table_rows = []
         for fraction in self.config.fault_fractions:
             for policy in self.config.policies:
-                acc = self.mean_accuracy(fraction, policy)
-                rec = self.recovery(fraction, policy) if has_none else float("nan")
-                energy, time_s = (
-                    self.repair_overhead(fraction, policy)
-                    if has_none
-                    else (float("nan"), float("nan"))
-                )
                 sub = [
                     r
                     for r in self.rows
                     if r.fraction == fraction and r.policy == policy
                 ]
+                if not sub:
+                    # Partial (halted) report: cells never reached.
+                    continue
+                acc = self.mean_accuracy(fraction, policy)
+                try:
+                    rec = (
+                        self.recovery(fraction, policy)
+                        if has_none
+                        else float("nan")
+                    )
+                except ConfigError:
+                    rec = float("nan")
+                energy, time_s = (
+                    self.repair_overhead(fraction, policy)
+                    if has_none
+                    else (float("nan"), float("nan"))
+                )
                 table_rows.append(
                     [
                         fraction * 100,
@@ -244,6 +309,11 @@ class CampaignReport:
             ),
         )
         text += f"\n\nbatched/per-sample parity: {'OK' if self.parity_ok else 'VIOLATED'}"
+        if not self.complete:
+            text += (
+                "\nNOTE: campaign halted before completing every cell — "
+                "resume with the same checkpoint directory."
+            )
         return text
 
 
@@ -297,33 +367,176 @@ def _training_survives(
     manager: FaultManager,
     test: Dataset,
     config: CampaignConfig,
-) -> tuple[float, float]:
+) -> tuple[float, float, int | None]:
     """Run a few in-situ steps with repair sweeps between them.
 
-    Returns (first loss, last loss); NaN/inf losses mean training died.
+    Returns (first loss, last loss, died_at_step).  The loop aborts at
+    the *first* non-finite loss — once training has diverged, every
+    subsequent step trains on garbage weights and its losses are
+    meaningless — and reports the step it died at (None if it survived).
     """
     if config.train_batches == 0:
-        return (float("nan"), float("nan"))
+        return (float("nan"), float("nan"), None)
     trainer = InSituTrainer(acc, lr=config.train_lr)
     first = last = float("nan")
+    died_at: int | None = None
     for step, (xb, yb) in enumerate(
         test.batches(16, seed=config.seed + 11)
     ):
         if step >= config.train_batches:
             break
-        loss = trainer.train_step(xb, yb)
-        # The update reprogram re-screened every tile; sweep repairs so
-        # newly crossed thresholds never linger into the next step.
-        manager.repair()
+        loss = float(trainer.train_step(xb, yb))
         if step == 0:
             first = loss
         last = loss
-    return (float(first), float(last))
+        if not np.isfinite(loss):
+            died_at = step
+            break
+        # The update reprogram re-screened every tile; sweep repairs so
+        # newly crossed thresholds never linger into the next step.
+        manager.repair()
+    return (first, last, died_at)
 
 
-def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
-    """Execute the full sweep; returns the populated report."""
+# ---------------------------------------------------------------------------
+# Resumable campaigns
+# ---------------------------------------------------------------------------
+_LEDGER_MAGIC = "trident-campaign"
+_LEDGER_SCHEMA = 1
+_LEDGER_FILE = "campaign_cells.jsonl"
+
+
+def _config_as_doc(config: CampaignConfig) -> dict:
+    """JSON-shaped view of a config (tuples become lists)."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in asdict(config).items()
+    }
+
+
+class _CampaignLedger:
+    """Append-only JSONL record of completed sweep cells.
+
+    Line 1 is a header binding the ledger to one exact
+    :class:`CampaignConfig` (and the clean-hardware accuracy, as an
+    environment-drift tripwire); every later line is one finished
+    (fraction, policy, trial) row with a content hash.  Each append is
+    flushed and fsynced, so a crash can lose at most the line being
+    written — and a torn trailing line fails its hash check and is
+    ignored on reload.  Because every cell's RNG seed is derived
+    independently (``seed + 1000 * f_index + trial``), skipping completed
+    cells on resume reproduces the uninterrupted sweep bit-identically.
+    """
+
+    def __init__(self, directory: str | Path, config: CampaignConfig) -> None:
+        self.path = Path(directory) / _LEDGER_FILE
+        self.config_doc = _config_as_doc(config)
+        self.clean_accuracy: float | None = None
+        #: (fraction, policy, trial) -> finished CampaignRow.
+        self.completed: dict[tuple[float, str, int], CampaignRow] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return
+        header = _parse_json_line(lines[0])
+        if (
+            header is None
+            or header.get("magic") != _LEDGER_MAGIC
+            or header.get("schema") != _LEDGER_SCHEMA
+        ):
+            raise CheckpointError(f"{self.path} is not a campaign ledger")
+        if header.get("config") != self.config_doc:
+            raise CheckpointError(
+                f"campaign ledger {self.path} was written by a different "
+                "sweep config; use a fresh checkpoint directory or the "
+                "original config"
+            )
+        self.clean_accuracy = float(header["clean_accuracy"])
+        for lineno, line in enumerate(lines[1:], start=2):
+            doc = _parse_json_line(line)
+            if (
+                doc is None
+                or "row" not in doc
+                or doc.get("sha256") != state_digest(doc["row"])
+            ):
+                warnings.warn(
+                    f"{self.path}:{lineno}: corrupt or torn ledger line "
+                    "ignored (that cell will be re-run)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            row = CampaignRow(**doc["row"])
+            self.completed[(row.fraction, row.policy, row.trial)] = row
+
+    def begin(self, clean_accuracy: float) -> None:
+        """Write the header on first use; cross-check it on resume."""
+        if self.clean_accuracy is None:
+            self._append(
+                {
+                    "magic": _LEDGER_MAGIC,
+                    "schema": _LEDGER_SCHEMA,
+                    "config": self.config_doc,
+                    "clean_accuracy": clean_accuracy,
+                }
+            )
+            self.clean_accuracy = clean_accuracy
+        elif self.clean_accuracy != clean_accuracy:
+            raise CheckpointError(
+                f"clean accuracy drifted between runs: ledger has "
+                f"{self.clean_accuracy}, this environment computed "
+                f"{clean_accuracy} — results would not be comparable"
+            )
+
+    def record(self, row: CampaignRow) -> None:
+        """Persist one finished cell (flushed + fsynced before returning)."""
+        doc = row.as_dict()
+        self._append({"row": doc, "sha256": state_digest(doc)})
+        self.completed[(row.fraction, row.policy, row.trial)] = row
+
+    def _append(self, doc: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def _parse_json_line(line: str) -> dict | None:
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def run_campaign(
+    config: CampaignConfig | None = None,
+    checkpoint_dir: str | Path | None = None,
+    max_cells: int | None = None,
+) -> CampaignReport:
+    """Execute the full sweep; returns the populated report.
+
+    With ``checkpoint_dir`` every finished (fraction, policy, trial) cell
+    is persisted incrementally to a crash-safe ledger, and a restart with
+    the same directory and config skips completed cells — producing a
+    report bit-identical to an uninterrupted run (per-cell RNG seeds are
+    independent).  ``max_cells`` caps the number of cells *executed* by
+    this invocation (completed cells loaded from the ledger are free);
+    when the cap halts the sweep early the report has
+    ``complete=False``.
+    """
     config = config or CampaignConfig()
+    if max_cells is not None and max_cells < 0:
+        raise FaultError(f"max_cells must be non-negative, got {max_cells}")
+    ledger = (
+        _CampaignLedger(checkpoint_dir, config)
+        if checkpoint_dir is not None
+        else None
+    )
     weights, test = _reference_weights(config)
 
     with warnings.catch_warnings():
@@ -336,11 +549,22 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
                 np.argmax(clean_acc.forward_batch(test.x), axis=1) == test.y
             )
         )
+        if ledger is not None:
+            ledger.begin(clean)
         report = CampaignReport(config=config, clean_accuracy=clean)
 
+        executed = 0
         for f_index, fraction in enumerate(config.fault_fractions):
             for policy in config.policies:
                 for trial in range(config.trials):
+                    if ledger is not None:
+                        done = ledger.completed.get((fraction, policy, trial))
+                        if done is not None:
+                            report.rows.append(done)
+                            continue
+                    if max_cells is not None and executed >= max_cells:
+                        report.complete = False
+                        return report
                     # Same (fraction, trial) seed across policies: every
                     # policy faces the identical fault pattern and noise
                     # stream, so policy deltas are paired comparisons.
@@ -363,26 +587,55 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
                     parity = _check_parity(
                         acc, test.x[: config.parity_samples]
                     )
-                    first, last = _training_survives(
+                    first, last, died_at = _training_survives(
                         acc, manager, test, config
                     )
-                    report.rows.append(
-                        CampaignRow(
-                            fraction=fraction,
-                            policy=policy,
-                            trial=trial,
-                            accuracy=accuracy,
-                            n_stuck=n_stuck,
-                            cells_flagged=detector.total_flagged,
-                            retries=log.retries,
-                            row_remaps=log.row_remaps,
-                            migrations=log.migrations,
-                            tiles_unrepaired=log.tiles_unrepaired,
-                            deploy_energy_j=deploy_energy,
-                            deploy_time_s=deploy_time,
-                            train_loss_first=first,
-                            train_loss_last=last,
-                            parity_ok=parity,
-                        )
+                    row = CampaignRow(
+                        fraction=fraction,
+                        policy=policy,
+                        trial=trial,
+                        accuracy=accuracy,
+                        n_stuck=n_stuck,
+                        cells_flagged=detector.total_flagged,
+                        retries=log.retries,
+                        row_remaps=log.row_remaps,
+                        migrations=log.migrations,
+                        tiles_unrepaired=log.tiles_unrepaired,
+                        deploy_energy_j=deploy_energy,
+                        deploy_time_s=deploy_time,
+                        train_loss_first=first,
+                        train_loss_last=last,
+                        parity_ok=parity,
+                        train_died_at_step=died_at,
                     )
+                    if ledger is not None:
+                        ledger.record(row)
+                    report.rows.append(row)
+                    executed += 1
     return report
+
+
+def resume_campaign(checkpoint_dir: str | Path) -> CampaignReport:
+    """Continue an interrupted campaign from its ledger alone.
+
+    Reconstructs the :class:`CampaignConfig` from the ledger header, so
+    the caller needs nothing but the checkpoint directory.
+    """
+    path = Path(checkpoint_dir) / _LEDGER_FILE
+    if not path.exists():
+        raise CheckpointError(f"no campaign ledger at {path}")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header = _parse_json_line(lines[0]) if lines else None
+    if (
+        header is None
+        or header.get("magic") != _LEDGER_MAGIC
+        or not isinstance(header.get("config"), dict)
+    ):
+        raise CheckpointError(f"{path} has no readable campaign header")
+    config = CampaignConfig(
+        **{
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in header["config"].items()
+        }
+    )
+    return run_campaign(config, checkpoint_dir=checkpoint_dir)

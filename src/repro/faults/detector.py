@@ -128,6 +128,28 @@ class BankFaultMap:
         """Fraction of physical cells currently flagged faulty."""
         return float(self.faulty.mean())
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the strike counters and inferred-faulty flags."""
+        return {
+            "strike_threshold": self.strike_threshold,
+            "strikes": self.strikes.copy(),
+            "faulty": self.faulty.copy(),
+            "writes_observed": self.writes_observed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (shape-checked)."""
+        strikes = np.asarray(state["strikes"], dtype=np.int64)
+        if strikes.shape != self.strikes.shape:
+            raise FaultError(
+                f"fault-map snapshot shape {strikes.shape} != {self.strikes.shape}"
+            )
+        self.strike_threshold = int(state["strike_threshold"])
+        self.strikes = strikes.copy()
+        self.faulty = np.asarray(state["faulty"], dtype=bool).copy()
+        self.writes_observed = int(state["writes_observed"])
+
 
 class FaultDetector:
     """Per-bank online fault maps fed by the accelerator's write hook.
@@ -197,6 +219,35 @@ class FaultDetector:
     def total_flagged(self) -> int:
         """Total cells flagged faulty across every observed bank."""
         return sum(int(m.faulty.sum()) for m in self.maps.values())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of every per-bank fault map (strike history included).
+
+        ``last_results`` — the most recent raw readbacks — are transient
+        diagnostics and deliberately not serialized; the strike counters
+        carry everything repair decisions depend on.
+        """
+        return {
+            "strike_threshold": self.strike_threshold,
+            "maps": {
+                str(pe_index): fault_map.state_dict()
+                for pe_index, fault_map in self.maps.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, rebuilding per-PE maps."""
+        self.strike_threshold = int(state["strike_threshold"])
+        self.maps = {}
+        self.last_results = {}
+        for key, map_state in state["maps"].items():
+            strikes = np.asarray(map_state["strikes"], dtype=np.int64)
+            fault_map = BankFaultMap(
+                strikes.shape[0], strikes.shape[1], self.strike_threshold
+            )
+            fault_map.load_state_dict(map_state)
+            self.maps[int(key)] = fault_map
 
     # ------------------------------------------------------------------
     def check_drift(

@@ -298,6 +298,32 @@ class FaultManager:
         return True
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the repair log, screened-bank set, and the owned
+        detector's fault maps — everything a resumed run needs for the
+        repair ladder to pick up exactly where it left off."""
+        return {
+            "log": self.log.as_dict(),
+            "screened": sorted(self._screened),
+            "detector": self.detector.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        log = state["log"]
+        self.log = RepairLog(
+            retries=int(log["retries"]),
+            row_remaps=int(log["row_remaps"]),
+            migrations=int(log["migrations"]),
+            tiles_unrepaired=int(log["tiles_unrepaired"]),
+            refreshes=int(log["refreshes"]),
+        )
+        self._screened = {int(pe) for pe in state["screened"]}
+        self.detector.load_state_dict(state["detector"])
+
+    # ------------------------------------------------------------------
     def maybe_refresh(
         self, age_s: float, temperature_k: float = 300.0
     ) -> bool:

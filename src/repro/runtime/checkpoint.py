@@ -1,0 +1,305 @@
+"""Crash-safe checkpoint serialization for accelerator and trainer state.
+
+A checkpoint is a nested *snapshot dict* — plain Python containers,
+numbers, strings, booleans, ``None``, and NumPy arrays — produced by the
+``state_dict()`` methods on :class:`~repro.arch.TridentAccelerator` and
+its components.  This module turns such a dict into a durable file and
+back with three guarantees:
+
+1. **Bit-exact round trip.**  Arrays serialize as raw little-endian bytes
+   (base64), so every float, NaN payload, and integer survives exactly;
+   scalars ride through JSON, whose float encoding (``repr``) round-trips
+   IEEE-754 doubles exactly.  ``load(save(x)) == x`` to the bit.
+2. **Atomicity.**  Writes go to a temporary file in the target directory,
+   are flushed and fsynced, then ``os.replace``d over the destination (and
+   the directory entry fsynced).  A crash mid-write leaves either the old
+   checkpoint or the new one — never a torn file under the final name.
+3. **Integrity + versioning.**  The payload's SHA-256 over its canonical
+   JSON form is stored in the header along with a schema version; loading
+   verifies both and raises :class:`~repro.errors.CheckpointError` on any
+   mismatch, so a corrupt or foreign file can never be silently applied.
+
+:class:`CheckpointStore` manages a directory of step-numbered checkpoints
+with bounded retention; ``latest()`` skips corrupt files (e.g. damaged by
+an unrelated crash) and falls back to the newest verifiable one.
+
+No pickle anywhere: the format is self-describing JSON, debuggable with a
+text editor, and immune to code-execution-on-load.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import re
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: Bump when the snapshot layout changes incompatibly.
+SCHEMA_VERSION = 1
+_MAGIC = "trident-checkpoint"
+_ARRAY_KEY = "__ndarray__"
+_STEP_PATTERN = re.compile(r"^step_(\d{10})\.ckpt$")
+
+
+# ---------------------------------------------------------------------------
+# Codec: snapshot dict <-> JSON-safe tree
+# ---------------------------------------------------------------------------
+def encode_state(obj):
+    """Recursively convert a snapshot tree into JSON-safe form.
+
+    Arrays become ``{"__ndarray__": {dtype, shape, data}}`` with the data
+    as base64 of the C-order little-endian bytes; NumPy scalars collapse
+    to Python scalars; tuples become lists.  Rejects anything else —
+    a snapshot must be fully describable without pickle.
+    """
+    if isinstance(obj, np.ndarray):
+        little = obj.astype(obj.dtype.newbyteorder("<"), copy=False)
+        return {
+            _ARRAY_KEY: {
+                "dtype": str(obj.dtype),
+                "shape": list(obj.shape),
+                "data": base64.b64encode(np.ascontiguousarray(little).tobytes()).decode(
+                    "ascii"
+                ),
+            }
+        }
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"snapshot dict keys must be strings, got {key!r} "
+                    f"({type(key).__name__}) — stringify at state_dict time"
+                )
+            if key == _ARRAY_KEY:
+                raise CheckpointError(
+                    f"snapshot key {_ARRAY_KEY!r} is reserved for the array codec"
+                )
+            out[key] = encode_state(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [encode_state(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise CheckpointError(
+        f"snapshot values must be arrays, scalars, strings, None, or "
+        f"containers thereof; got {type(obj).__name__}"
+    )
+
+
+def decode_state(obj):
+    """Inverse of :func:`encode_state` (lists stay lists)."""
+    if isinstance(obj, dict):
+        if set(obj) == {_ARRAY_KEY}:
+            spec = obj[_ARRAY_KEY]
+            try:
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(int(s) for s in spec["shape"])
+                raw = base64.b64decode(spec["data"].encode("ascii"))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(f"malformed array record: {exc}") from exc
+            flat = np.frombuffer(raw, dtype=dtype.newbyteorder("<"))
+            return flat.astype(dtype, copy=True).reshape(shape)
+        return {key: decode_state(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [decode_state(v) for v in obj]
+    return obj
+
+
+def state_digest(encoded) -> str:
+    """SHA-256 of the canonical JSON form of an encoded payload."""
+    canonical = json.dumps(
+        encoded, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Atomic single-file save / verified load
+# ---------------------------------------------------------------------------
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_checkpoint(path: str | Path, payload: dict, kind: str = "checkpoint") -> Path:
+    """Atomically write ``payload`` (a snapshot dict) to ``path``.
+
+    tmp file in the same directory + fsync + ``os.replace`` — the final
+    name only ever holds a complete file.  The header records the schema
+    version, a ``kind`` tag (e.g. ``"accelerator"``, ``"training"``), and
+    the payload's content hash.  Returns the final path.
+    """
+    path = Path(path)
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint payload must be a dict, got {type(payload).__name__}"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    encoded = encode_state(payload)
+    document = {
+        "magic": _MAGIC,
+        "schema": SCHEMA_VERSION,
+        "kind": str(kind),
+        "sha256": state_digest(encoded),
+        "payload": encoded,
+    }
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, allow_nan=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failure before replace leaves the tmp behind
+            tmp.unlink(missing_ok=True)
+    _fsync_directory(path.parent)
+    return path
+
+
+def load_checkpoint(path: str | Path, expect_kind: str | None = None) -> dict:
+    """Load and verify a checkpoint; returns the decoded payload.
+
+    Raises :class:`~repro.errors.CheckpointError` on a missing, truncated,
+    or corrupt file, a schema mismatch, a content-hash mismatch, or (when
+    ``expect_kind`` is given) the wrong checkpoint kind.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("magic") != _MAGIC:
+        raise CheckpointError(f"{path} is not a {_MAGIC} file")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path} has schema version {schema!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    if expect_kind is not None and document.get("kind") != expect_kind:
+        raise CheckpointError(
+            f"{path} holds a {document.get('kind')!r} checkpoint, "
+            f"expected {expect_kind!r}"
+        )
+    encoded = document.get("payload")
+    digest = state_digest(encoded)
+    if digest != document.get("sha256"):
+        raise CheckpointError(
+            f"{path} failed integrity check: content hash {digest[:12]}... "
+            f"!= recorded {str(document.get('sha256'))[:12]}... (torn or "
+            "tampered file)"
+        )
+    return decode_state(encoded)
+
+
+def describe_checkpoint(path: str | Path) -> dict:
+    """Header + integrity verdict for one checkpoint file (for the CLI).
+
+    Never raises on a bad file — returns ``{"valid": False, "error": ...}``
+    so inspection tooling can report instead of crash.
+    """
+    path = Path(path)
+    try:
+        payload = load_checkpoint(path)
+        with path.open("r", encoding="utf-8") as handle:
+            header = json.load(handle)
+        return {
+            "path": str(path),
+            "valid": True,
+            "kind": header.get("kind"),
+            "schema": header.get("schema"),
+            "sha256": header.get("sha256"),
+            "size_bytes": path.stat().st_size,
+            "top_level_keys": sorted(payload),
+            "step": payload.get("step"),
+        }
+    except CheckpointError as exc:
+        return {"path": str(path), "valid": False, "error": str(exc)}
+
+
+# ---------------------------------------------------------------------------
+# Directory of step-numbered checkpoints
+# ---------------------------------------------------------------------------
+class CheckpointStore:
+    """A directory of ``step_NNNNNNNNNN.ckpt`` files with bounded retention.
+
+    ``save`` writes atomically then prunes to the newest ``keep_last``
+    files; ``latest`` walks newest-to-oldest, *verifying* each candidate
+    and skipping corrupt ones with a warning — the crash-recovery
+    behaviour resilient training relies on.
+    """
+
+    def __init__(self, directory: str | Path, keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise CheckpointError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, step: int) -> Path:
+        """Canonical file path for one step's checkpoint."""
+        if step < 0:
+            raise CheckpointError(f"step must be non-negative, got {step}")
+        return self.directory / f"step_{step:010d}.ckpt"
+
+    def steps(self) -> list[int]:
+        """Ascending step numbers present on disk (unverified)."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _STEP_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def save(self, step: int, payload: dict, kind: str = "training") -> Path:
+        """Write step's checkpoint atomically, then prune old ones."""
+        path = save_checkpoint(self.path_for(step), payload, kind=kind)
+        self._prune()
+        return path
+
+    def load(self, step: int, expect_kind: str | None = None) -> dict:
+        """Load one specific step's checkpoint (verified)."""
+        return load_checkpoint(self.path_for(step), expect_kind=expect_kind)
+
+    def latest(self, expect_kind: str | None = None) -> tuple[int, dict] | None:
+        """Newest *verifiable* checkpoint as ``(step, payload)``, or None.
+
+        Corrupt candidates (torn by a crash, bit-rotted, wrong kind) are
+        skipped with a warning rather than ending the run — recovery
+        degrades to the previous good snapshot.
+        """
+        for step in reversed(self.steps()):
+            try:
+                return step, self.load(step, expect_kind=expect_kind)
+            except CheckpointError as exc:
+                warnings.warn(
+                    f"skipping unusable checkpoint {self.path_for(step).name}: {exc}",
+                    stacklevel=2,
+                )
+        return None
+
+    def _prune(self) -> None:
+        for step in self.steps()[: -self.keep_last]:
+            self.path_for(step).unlink(missing_ok=True)

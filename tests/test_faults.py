@@ -374,17 +374,163 @@ class TestCampaign:
         assert all(p.exists() and p.stat().st_size > 0 for p in paths)
 
     def test_campaign_validation(self):
+        # Structural mistakes stay ConfigError...
         with pytest.raises(ConfigError):
-            CampaignConfig(fault_fractions=())
-        with pytest.raises(ConfigError):
-            CampaignConfig(fault_fractions=(1.5,))
+            CampaignConfig(dims=(10,))
         with pytest.raises(ConfigError):
             CampaignConfig(policies=("bogus",))
-        with pytest.raises(ConfigError):
+        # ...numeric ranges raise FaultError with the offending value named.
+        with pytest.raises(FaultError):
+            CampaignConfig(fault_fractions=())
+        with pytest.raises(FaultError, match="1.5"):
+            CampaignConfig(fault_fractions=(1.5,))
+        with pytest.raises(FaultError, match="-0.1"):
+            CampaignConfig(fault_fractions=(-0.1,))
+        with pytest.raises(FaultError, match="trials"):
             CampaignConfig(trials=0)
+        with pytest.raises(FaultError, match="train_lr"):
+            CampaignConfig(train_lr=0.0)
+        with pytest.raises(FaultError, match="train_lr"):
+            CampaignConfig(train_lr=-0.5)
+        with pytest.raises(FaultError, match="train_batches"):
+            CampaignConfig(train_batches=-1)
+        with pytest.raises(FaultError, match="stuck_level"):
+            CampaignConfig(stuck_level=300)
+        with pytest.raises(FaultError, match="spare_rows"):
+            CampaignConfig(spare_rows=-1)
+        with pytest.raises(FaultError, match="parity_samples"):
+            CampaignConfig(parity_samples=0)
 
     def test_cli_faults_smoke(self, capsys):
         assert main(["faults", "--smoke"]) == 0
         out = capsys.readouterr().out
         assert "Fault campaign" in out
         assert "parity: OK" in out
+
+
+class TestTrainingSurvival:
+    def test_aborts_at_first_nonfinite_loss(self, monkeypatch):
+        """A NaN loss ends the survival loop immediately and records the
+        step it died at — later steps would train on garbage weights."""
+        from repro.faults.campaign import _training_survives
+        from repro.nn.datasets import make_blobs
+        from repro.training.insitu import InSituTrainer
+
+        losses = iter([0.9, float("nan"), 0.1, 0.05])
+        calls = {"n": 0}
+
+        def fake_step(self, xb, yb):
+            calls["n"] += 1
+            return next(losses)
+
+        monkeypatch.setattr(InSituTrainer, "train_step", fake_step)
+        repairs = {"n": 0}
+
+        class FakeManager:
+            def repair(self):
+                repairs["n"] += 1
+
+        config = CampaignConfig(train_batches=4)
+        acc = _verified_acc()
+        acc.set_weights(
+            [np.zeros((14, 10)), np.zeros((3, 14))]
+        )
+        test = make_blobs(n_samples=64, n_features=10, n_classes=3, seed=0)
+        first, last, died = _training_survives(
+            acc, FakeManager(), test, config
+        )
+        assert first == 0.9
+        assert np.isnan(last)
+        assert died == 1
+        assert calls["n"] == 2  # steps 2 and 3 never ran
+        assert repairs["n"] == 1  # only the healthy step swept repairs
+
+    def test_surviving_run_reports_no_death(self, monkeypatch):
+        from repro.faults.campaign import _training_survives
+        from repro.nn.datasets import make_blobs
+        from repro.training.insitu import InSituTrainer
+
+        monkeypatch.setattr(
+            InSituTrainer, "train_step", lambda self, xb, yb: 0.5
+        )
+
+        class FakeManager:
+            def repair(self):
+                pass
+
+        config = CampaignConfig(train_batches=3)
+        acc = _verified_acc()
+        acc.set_weights([np.zeros((14, 10)), np.zeros((3, 14))])
+        test = make_blobs(n_samples=64, n_features=10, n_classes=3, seed=0)
+        first, last, died = _training_survives(
+            acc, FakeManager(), test, config
+        )
+        assert (first, last, died) == (0.5, 0.5, None)
+
+
+class TestCampaignResume:
+    def test_interrupted_campaign_resumes_bit_identically(self, tmp_path):
+        """Halt after one cell, resume, and the final report must equal an
+        uninterrupted run: same rows, losses, counters, clean accuracy."""
+        from repro.faults import resume_campaign
+
+        config = CampaignConfig.smoke()
+        baseline = run_campaign(config)
+        assert baseline.complete
+
+        partial = run_campaign(config, checkpoint_dir=tmp_path, max_cells=1)
+        assert not partial.complete
+        assert len(partial.rows) == 1
+        assert (tmp_path / "campaign_cells.jsonl").exists()
+
+        resumed = resume_campaign(tmp_path)
+        assert resumed.complete
+        assert resumed.clean_accuracy == baseline.clean_accuracy
+        assert [r.as_dict() for r in resumed.rows] == [
+            r.as_dict() for r in baseline.rows
+        ]
+
+    def test_completed_cells_are_not_rerun(self, tmp_path):
+        config = CampaignConfig.smoke()
+        run_campaign(config, checkpoint_dir=tmp_path)
+        ledger = tmp_path / "campaign_cells.jsonl"
+        before = ledger.read_text()
+        # A second run loads every cell from the ledger and appends nothing.
+        report = run_campaign(config, checkpoint_dir=tmp_path)
+        assert report.complete
+        assert len(report.rows) == 4
+        assert ledger.read_text() == before
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        config = CampaignConfig.smoke()
+        run_campaign(config, checkpoint_dir=tmp_path, max_cells=2)
+        ledger = tmp_path / "campaign_cells.jsonl"
+        # Simulate a crash mid-append: truncate the last line.
+        text = ledger.read_text()
+        ledger.write_text(text[:-30])
+        from repro.faults import resume_campaign
+
+        with pytest.warns(RuntimeWarning, match="torn"):
+            resumed = resume_campaign(tmp_path)
+        assert resumed.complete
+        assert len(resumed.rows) == 4
+
+    def test_mismatched_config_rejected(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        run_campaign(CampaignConfig.smoke(), checkpoint_dir=tmp_path, max_cells=1)
+        other = CampaignConfig.smoke()
+        other = CampaignConfig(
+            fault_fractions=other.fault_fractions,
+            policies=other.policies,
+            trials=other.trials,
+            train_batches=other.train_batches,
+            seed=99,
+        )
+        with pytest.raises(CheckpointError, match="different"):
+            run_campaign(other, checkpoint_dir=tmp_path)
+
+    def test_cli_resume_smoke(self, capsys):
+        assert main(["resume", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to uninterrupted run: OK" in out
