@@ -39,6 +39,7 @@ from repro.devices.noise import NoiseModel
 from repro.devices.photodetector import BalancedPhotodetector
 from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
 from repro.errors import MappingError, RepairError, ShapeError
+from repro.telemetry.session import counter as _metric_counter, trace_span as _trace_span
 
 
 @dataclass
@@ -252,14 +253,21 @@ class TridentAccelerator:
         pe = self.pes[pe_index]
         use_writer = writer if writer is not None else self._verify_writer
         result = None
-        if use_writer is not None:
-            _, result = pe.bank.program_verified(block, use_writer)
-            for listener in self._write_listeners:
-                listener(pe_index, layer_index, tile_index, pe.bank, result)
-        else:
-            pe.program_weights(block)
-        self.counters.bank_writes += 1
-        self.counters.cells_written += (r1 - r0) * (c1 - c0)
+        with _trace_span(
+            "reprogram_tile",
+            accelerator=self,
+            layer=layer_index,
+            tile=tile_index,
+            pe=pe_index,
+        ):
+            if use_writer is not None:
+                _, result = pe.bank.program_verified(block, use_writer)
+                for listener in self._write_listeners:
+                    listener(pe_index, layer_index, tile_index, pe.bank, result)
+            else:
+                pe.program_weights(block)
+            self.counters.bank_writes += 1
+            self.counters.cells_written += (r1 - r0) * (c1 - c0)
         return result
 
     def migrate_tile(self, layer_index: int, tile_index: int) -> int:
@@ -455,6 +463,12 @@ class TridentAccelerator:
             raise ShapeError(
                 f"input shape {value.shape} != ({self.layers[0].in_dim},)"
             )
+        with _trace_span("forward", accelerator=self):
+            value = self._forward_layers(value, record)
+        _metric_counter("repro_forward_samples_total").inc()
+        return value
+
+    def _forward_layers(self, value: np.ndarray, record: bool) -> np.ndarray:
         for layer in self.layers:
             if layer.weights is None:
                 raise MappingError(f"layer {layer.index} has no programmed weights")
@@ -517,37 +531,54 @@ class TridentAccelerator:
             self.counters.mode_switches += 1
         batch = xs.shape[0]
         value = xs.T  # (features, batch)
-        for layer in self.layers:
-            if layer.weights is None:
-                raise MappingError(f"layer {layer.index} has no programmed weights")
-            if record:
-                layer.last_input = None
-                layer.last_logits = None
-                layer.last_input_batch = value.T.copy()
-            # Per-sample encode scales (the E/O stage normalizes each
-            # sample independently).
-            enc, scales = RangeNormalizer.normalize_columns(value)
-            logits_norm = np.zeros((layer.out_dim, batch), dtype=np.float64)
-            single_tile = len(layer.tiles) == 1
-            for r0, r1, c0, c1, pe_index in layer.tiles:
-                pe = self.pes[pe_index]
-                part = pe.forward_batch(
-                    enc[c0:c1], capture_derivative=single_tile
-                )
-                logits_norm[r0:r1] += part
-                # B streamed symbols per bank the slab enters — the same
-                # per-bank rule as the per-sample path (module docstring).
-                self.counters.symbols += batch
-            logits = logits_norm * scales * layer.weight_scale
-            if record:
-                layer.last_logits_batch = logits.T.copy()
-            if layer.apply_activation:
-                cell = self.pes[layer.tiles[0][4]].activation
-                before = cell.firing_events
-                value = cell.fire(logits)
-                self.counters.activation_events += cell.firing_events - before
-            else:
-                value = logits
+        with _trace_span("forward_batch", accelerator=self, batch=batch):
+            for layer in self.layers:
+                if layer.weights is None:
+                    raise MappingError(
+                        f"layer {layer.index} has no programmed weights"
+                    )
+                with _trace_span(
+                    "layer",
+                    accelerator=self,
+                    layer=layer.index,
+                    tiles=len(layer.tiles),
+                    batch=batch,
+                ):
+                    if record:
+                        layer.last_input = None
+                        layer.last_logits = None
+                        layer.last_input_batch = value.T.copy()
+                    # Per-sample encode scales (the E/O stage normalizes
+                    # each sample independently).
+                    enc, scales = RangeNormalizer.normalize_columns(value)
+                    logits_norm = np.zeros(
+                        (layer.out_dim, batch), dtype=np.float64
+                    )
+                    single_tile = len(layer.tiles) == 1
+                    for r0, r1, c0, c1, pe_index in layer.tiles:
+                        pe = self.pes[pe_index]
+                        part = pe.forward_batch(
+                            enc[c0:c1], capture_derivative=single_tile
+                        )
+                        logits_norm[r0:r1] += part
+                        # B streamed symbols per bank the slab enters — the
+                        # same per-bank rule as the per-sample path (module
+                        # docstring).
+                        self.counters.symbols += batch
+                    logits = logits_norm * scales * layer.weight_scale
+                    if record:
+                        layer.last_logits_batch = logits.T.copy()
+                    if layer.apply_activation:
+                        cell = self.pes[layer.tiles[0][4]].activation
+                        before = cell.firing_events
+                        value = cell.fire(logits)
+                        self.counters.activation_events += (
+                            cell.firing_events - before
+                        )
+                    else:
+                        value = logits
+        _metric_counter("repro_forward_batches_total").inc()
+        _metric_counter("repro_forward_samples_total").inc(batch)
         return value.T
 
     # ------------------------------------------------------------------

@@ -3,11 +3,16 @@
 Wrap any region of functional execution in a :class:`Profiler` context and
 get back a :class:`ProfileReport`: the region's wall-clock time plus the
 hardware events (streamed symbols, bank writes, cells, write energy/time)
-it generated, attributed per PE and per mapped layer.  The counters come
-from deltas of the accelerator's :class:`~repro.arch.accelerator.
-EventCounters` and each PE's :class:`~repro.arch.weight_bank.BankStats`
-snapshots, so profiling adds no bookkeeping to the hot paths themselves —
-the speedup of the batched execution engine is *measured*, not asserted.
+it generated, attributed per PE and per mapped layer.
+
+The measurement core is shared with :mod:`repro.telemetry`: the profiler
+opens one detail-mode span on a :class:`~repro.telemetry.tracer.Tracer`
+(the active session's tracer when telemetry is enabled — so profiled
+regions also appear in exported traces — or a private one otherwise), and
+the counter/bank-stat delta comes from the single
+:class:`~repro.telemetry.snapshot.HardwareSnapshot` implementation.
+Profiling therefore adds no bookkeeping to the hot paths themselves — the
+speedup of the batched execution engine is *measured*, not asserted.
 
 Usage::
 
@@ -21,12 +26,15 @@ The CLI's ``profile`` subcommand and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.arch.accelerator import EventCounters, TridentAccelerator
-from repro.arch.weight_bank import BankStats
 from repro.errors import ConfigError
+from repro.telemetry.session import active as _telemetry_active
+from repro.telemetry.tracer import Tracer
+
+#: Span name profiled regions record under.
+PROFILE_SPAN_NAME = "profiled_region"
 
 
 @dataclass(frozen=True)
@@ -116,48 +124,49 @@ class ProfileReport:
 class Profiler:
     """Context manager measuring one accelerator's events and wall time.
 
-    Snapshots the event counters and every PE's bank stats on entry and
-    diffs them on exit; PEs created inside the region (a remap) start from
-    a zero baseline.  The finished :class:`ProfileReport` is available as
-    :attr:`report` after the ``with`` block exits.
+    A thin consumer of the telemetry span tracer: entry opens a
+    detail-mode span that snapshots the event counters and every PE's
+    bank stats, exit closes it and builds the report from the span's
+    wall time and hardware delta.  PEs created inside the region (a
+    remap) start from a zero baseline.  The finished
+    :class:`ProfileReport` is available as :attr:`report` after the
+    ``with`` block exits.
     """
 
     def __init__(self, accelerator: TridentAccelerator) -> None:
         self.acc = accelerator
         self._report: ProfileReport | None = None
-        self._t0 = 0.0
-        self._counters0: EventCounters | None = None
-        self._bank0: dict[int, BankStats] = {}
+        self._span = None
 
     def __enter__(self) -> "Profiler":
-        """Snapshot counters and start the wall clock."""
+        """Open the measurement span (the active session's tracer when
+        telemetry is enabled, a private tracer otherwise)."""
         self._report = None
-        self._counters0 = self.acc.counters.snapshot()
-        self._bank0 = {
-            i: pe.bank.stats.merge(BankStats()) for i, pe in enumerate(self.acc.pes)
-        }
-        self._t0 = time.perf_counter()
+        session = _telemetry_active()
+        tracer = session.tracer if session is not None else Tracer()
+        self._span = tracer.span(PROFILE_SPAN_NAME, accelerator=self.acc, detail=True)
+        self._span.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        """Stop the clock and build the report (skipped on exception)."""
-        wall = time.perf_counter() - self._t0
+        """Close the span and build the report (skipped on exception)."""
+        span = self._span
+        self._span = None
+        span.__exit__(exc_type, exc, tb)
         if exc_type is not None:
             return False
-        per_pe = []
-        for i, pe in enumerate(self.acc.pes):
-            base = self._bank0.get(i, BankStats())
-            s = pe.bank.stats
-            per_pe.append(
-                PEProfile(
-                    pe_index=i,
-                    symbols=s.symbols - base.symbols,
-                    write_events=s.write_events - base.write_events,
-                    cells_written=s.cells_written - base.cells_written,
-                    write_energy_j=s.write_energy_j - base.write_energy_j,
-                    write_time_s=s.write_time_s - base.write_time_s,
-                )
+        delta = span.hardware
+        per_pe = tuple(
+            PEProfile(
+                pe_index=i,
+                symbols=stats.symbols,
+                write_events=stats.write_events,
+                cells_written=stats.cells_written,
+                write_energy_j=stats.write_energy_j,
+                write_time_s=stats.write_time_s,
             )
+            for i, stats in sorted(delta.per_pe.items())
+        )
         per_layer = []
         for layer in self.acc.layers:
             pe_indexes = [t[4] for t in layer.tiles]
@@ -172,9 +181,9 @@ class Profiler:
                 )
             )
         self._report = ProfileReport(
-            wall_time_s=wall,
-            counters=self.acc.counters.diff(self._counters0),
-            per_pe=tuple(per_pe),
+            wall_time_s=span.record.duration_s,
+            counters=delta.counters,
+            per_pe=per_pe,
             per_layer=tuple(per_layer),
         )
         return False

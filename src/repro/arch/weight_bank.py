@@ -74,6 +74,16 @@ class BankStats:
             symbols=self.symbols + other.symbols,
         )
 
+    def diff(self, earlier: "BankStats") -> "BankStats":
+        """Counters accumulated since ``earlier`` (self - earlier)."""
+        return BankStats(
+            write_events=self.write_events - earlier.write_events,
+            cells_written=self.cells_written - earlier.cells_written,
+            write_energy_j=self.write_energy_j - earlier.write_energy_j,
+            write_time_s=self.write_time_s - earlier.write_time_s,
+            symbols=self.symbols - earlier.symbols,
+        )
+
 
 class WeightBank:
     """Programmable photonic weight matrix with quantized analog readout."""

@@ -17,15 +17,40 @@ Usage (also via ``python -m repro``):
     python -m repro resume --smoke                 # CI crash-resume gate
     python -m repro train --steps 20 --inject-nan-step 7
     python -m repro checkpoint ckpt/step_0000000010.ckpt
+    python -m repro trace --out run.trace.json    # Perfetto-loadable trace
+    python -m repro trace --smoke                 # CI observability gate
+    python -m repro -v train --steps 20           # INFO-level run log
+    python -m repro train --metrics-out run.prom  # Prometheus dump
+
+Global flags: ``-v`` / ``-vv`` raise log verbosity (INFO / DEBUG) on the
+``repro.*`` logging hierarchy; ``--debug`` forces DEBUG.  ``--metrics-out``
+(on ``train``, ``faults``, and ``trace``) enables a telemetry session for
+the run and writes a Prometheus text dump when it finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
 from repro.eval.formatting import format_table
+
+
+@contextlib.contextmanager
+def _metrics_session(path: str | None):
+    """Telemetry session writing a Prometheus dump to ``path`` on success;
+    a no-op (yields None) when no path was requested."""
+    if path is None:
+        yield None
+        return
+    from repro import telemetry
+
+    with telemetry.session() as t:
+        yield t
+    out = t.metrics.write_prometheus(path)
+    print(f"metrics written to {out}")
 
 
 def _comparisons_text(comparisons) -> str:
@@ -315,9 +340,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
         )
-    report = run_campaign(
-        config, checkpoint_dir=args.checkpoint_dir, max_cells=args.max_cells
-    )
+    with _metrics_session(args.metrics_out):
+        report = run_campaign(
+            config, checkpoint_dir=args.checkpoint_dir, max_cells=args.max_cells
+        )
     print(report.render())
     if args.export:
         from repro.eval.export import export_fault_campaign
@@ -390,17 +416,193 @@ def cmd_train(args: argparse.Namespace) -> int:
         config=ResilienceConfig(checkpoint_every=args.checkpoint_every),
         step_hook=hook,
     )
-    report = trainer.run(
-        data,
-        steps=args.steps,
-        batch_size=args.batch,
-        seed=args.seed + 3,
-        resume=args.resume,
-        max_steps_this_run=args.max_steps,
-    )
+    with _metrics_session(args.metrics_out):
+        report = trainer.run(
+            data,
+            steps=args.steps,
+            batch_size=args.batch,
+            seed=args.seed + 3,
+            resume=args.resume,
+            max_steps_this_run=args.max_steps,
+        )
     print(report.render())
     print(f"checkpoints in {directory}")
     return 0 if report.completed else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run an instrumented end-to-end workload and export its telemetry.
+
+    The workload exercises every observability surface on purpose: a
+    fault-injected deployment walks the repair ladder (repair-tier
+    counters), resilient training with one injected NaN loss rolls back
+    (rollback counter + structured events), a batched inference pass and
+    the analytical cost model / schedule simulator fill the span
+    timeline.  Artifacts: a Chrome ``trace_event`` JSON (open in
+    ``chrome://tracing`` or https://ui.perfetto.dev), a Prometheus text
+    metrics dump, and a JSONL structured-event log.
+
+    The run then *audits itself*: the trace must pass the Chrome-trace
+    schema check, named spans must attribute >= 95% of root wall time,
+    the metrics dump must parse and expose the repair-tier and rollback
+    counters, and the rollback must actually have happened.  Any failed
+    check exits non-zero — with ``--smoke`` this is the CI observability
+    gate.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro import telemetry
+    from repro.arch import TridentAccelerator, TridentConfig
+    from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+    from repro.dataflow.schedule_sim import simulate_model
+    from repro.devices.program_verify import ProgramVerifyConfig
+    from repro.faults import FaultManager, RepairConfig
+    from repro.nn import build_model
+    from repro.nn.datasets import Dataset, make_blobs, standardize
+    from repro.runtime import ResilienceConfig, ResilientTrainer
+    from repro.training.insitu import InSituTrainer
+
+    if args.out is None:
+        base = Path(
+            tempfile.mkdtemp(prefix="repro-trace-")
+            if args.smoke
+            else "."
+        )
+        args.out = str(base / "repro_run.trace.json")
+    out_path = Path(args.out)
+    metrics_path = Path(
+        args.metrics_out or out_path.with_suffix("").with_suffix(".metrics.prom")
+    )
+    events_path = Path(
+        args.events_out or out_path.with_suffix("").with_suffix(".events.jsonl")
+    )
+
+    dims = list(args.dims)
+    steps = 6 if args.smoke else args.steps
+    rows = max(max(dims), 2)
+    seed = args.seed
+
+    with telemetry.session() as t:
+        with t.tracer.span("trace_workload"):
+            with t.tracer.span("deploy_and_repair"):
+                arch = TridentConfig(
+                    bank_rows=rows,
+                    bank_cols=rows,
+                    spare_rows=4,
+                    convergence_floor=0.0,
+                )
+                acc = TridentAccelerator(
+                    config=arch, seed=seed,
+                    program_verify=ProgramVerifyConfig(),
+                )
+                acc.map_mlp(dims)
+                rng = np.random.default_rng(seed + 1)
+                weights = [
+                    rng.normal(0.0, 0.4, (dims[i + 1], dims[i]))
+                    for i in range(len(dims) - 1)
+                ]
+                acc.inject_stuck_faults(0.08, stuck_level=254)
+                manager = FaultManager(acc, config=RepairConfig(policy="remap"))
+                manager.deploy([w.copy() for w in weights])
+
+            with t.tracer.span("training"):
+                raw = make_blobs(
+                    n_samples=60,
+                    n_features=dims[0],
+                    n_classes=dims[-1],
+                    seed=seed + 2,
+                )
+                data = Dataset(
+                    x=np.clip(standardize(raw.x) / 3, -1, 1), y=raw.y
+                )
+                fired = {"done": False}
+
+                def hook(step: int) -> float | None:
+                    if step == 2 and not fired["done"]:
+                        fired["done"] = True
+                        return float("nan")
+                    return None
+
+                with tempfile.TemporaryDirectory() as ckpt_dir:
+                    trainer = ResilientTrainer(
+                        InSituTrainer(acc, lr=0.05),
+                        ckpt_dir,
+                        config=ResilienceConfig(checkpoint_every=3),
+                        manager=manager,
+                        step_hook=hook,
+                    )
+                    run_report = trainer.run(
+                        data, steps=steps, batch_size=8, seed=seed + 3
+                    )
+
+            with t.tracer.span("inference"):
+                acc.forward_batch(data.x)
+
+            with t.tracer.span("modeling"):
+                net = build_model(args.model)
+                PhotonicCostModel(PhotonicArch.trident()).model_cost(net)
+                simulate_model(net, keep_events=False)
+
+        coverage = t.tracer.coverage()
+        t.tracer.write_chrome_trace(out_path)
+        t.metrics.write_prometheus(metrics_path)
+        t.events.write_jsonl(events_path)
+        samples = telemetry.parse_prometheus_text(
+            metrics_path.read_text(encoding="utf-8")
+        )
+        trace_problems = telemetry.validate_chrome_trace(
+            json.loads(out_path.read_text(encoding="utf-8"))
+        )
+        n_spans = len(t.tracer.records)
+        n_events = len(t.events.records)
+
+    rollbacks = samples.get("repro_rollbacks_total", 0.0)
+    missing = [
+        key
+        for key in (
+            "repro_rollbacks_total",
+            'repro_repairs_total{tier="retry"}',
+            'repro_repairs_total{tier="spare"}',
+            'repro_repairs_total{tier="migrate"}',
+            "repro_tiles_unrepaired_total",
+        )
+        if key not in samples
+    ]
+    checks = [
+        ("chrome trace schema valid", not trace_problems),
+        ("span coverage >= 95%", coverage >= 0.95),
+        ("repair-tier + rollback counters exposed", not missing),
+        ("rollback exercised", rollbacks >= 1),
+        ("training completed", run_report.completed),
+    ]
+
+    print(f"trace written to {out_path} ({n_spans} spans)")
+    print(f"metrics written to {metrics_path} ({len(samples)} samples)")
+    print(f"events written to {events_path} ({n_events} events)")
+    print(f"span coverage of root wall time: {coverage * 100:.1f}%")
+    repairs = sum(
+        value
+        for key, value in samples.items()
+        if key.startswith("repro_repairs_total")
+    )
+    print(
+        f"workload: {run_report.steps_completed} steps, "
+        f"{int(rollbacks)} rollback(s), {int(repairs)} repair(s), "
+        f"{int(samples.get('repro_tiles_unrepaired_total', 0))} tile(s) degraded"
+    )
+    ok = True
+    for label, passed in checks:
+        print(f"  {'OK  ' if passed else 'FAIL'} {label}")
+        ok = ok and passed
+    for problem in trace_problems[:5]:
+        print(f"    trace problem: {problem}")
+    for key in missing:
+        print(f"    missing metric: {key}")
+    return 0 if ok else 1
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -490,6 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Trident reproduction CLI"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise repro.* log level (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="force DEBUG logging on the repro.* hierarchy",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table", help="regenerate a paper table (1-5)")
@@ -572,6 +782,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cells", type=int, default=None,
                    help="halt after executing this many new cells "
                         "(crash simulation; resume later)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="collect telemetry and write a Prometheus dump here")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("endurance", help="PCM wear-out analysis for a model")
@@ -598,7 +810,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "(crash simulation; resume later)")
     p.add_argument("--inject-nan-step", type=int, default=None,
                    help="force a NaN loss at this step to demo rollback")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="collect telemetry and write a Prometheus dump here")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented workload; export Chrome trace + metrics",
+    )
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="Chrome trace output (default repro_run.trace.json; "
+                        "--smoke defaults to a temp dir)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="Prometheus dump (default: next to --out)")
+    p.add_argument("--events-out", metavar="PATH", default=None,
+                   help="structured-event JSONL (default: next to --out)")
+    p.add_argument("--dims", type=int, nargs="+", default=[6, 8, 3])
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default="alexnet",
+                   help="model for the cost-model/schedule-sim phase")
+    p.add_argument("--smoke", action="store_true",
+                   help="small workload + self-audit (CI observability gate)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "checkpoint", help="inspect a checkpoint file (schema/kind/hash)"
@@ -624,6 +858,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.telemetry import configure_cli_logging
+
+    configure_cli_logging(verbosity=args.verbose, debug=args.debug)
     return args.func(args)
 
 

@@ -42,6 +42,10 @@ from repro.dataflow.tiling import TileSchedule
 from repro.errors import ConfigError, ScheduleError
 from repro.nn.graph import INPUT, Network
 from repro.nn.layers import TensorShape
+from repro.telemetry.session import (
+    active as _telemetry_active,
+    trace_span as _trace_span,
+)
 
 
 @dataclass(frozen=True)
@@ -255,27 +259,51 @@ class PhotonicCostModel:
         pool/add/concat is folded into the neighbouring layers' traffic)."""
         stats = network.stats()
         layers: list[LayerCost] = []
-        for record in stats.layers:
-            if record.gemm is None:
-                continue
-            sources = network.inputs_of(record.name)
-            src = sources[0]
-            input_shape = (
-                network.input_shape if src == INPUT else network.shape_of(src)
-            )
-            schedule = TileSchedule(
-                gemm=record.gemm,
-                bank_rows=self.arch.bank_rows,
-                bank_cols=self.arch.bank_cols,
-            )
-            layers.append(
-                self.layer_cost(record.name, schedule, input_shape, record.fused_activation)
-            )
+        with _trace_span(
+            "model_cost", model=network.name, arch=self.arch.name
+        ):
+            for record in stats.layers:
+                if record.gemm is None:
+                    continue
+                sources = network.inputs_of(record.name)
+                src = sources[0]
+                input_shape = (
+                    network.input_shape if src == INPUT else network.shape_of(src)
+                )
+                schedule = TileSchedule(
+                    gemm=record.gemm,
+                    bank_rows=self.arch.bank_rows,
+                    bank_cols=self.arch.bank_cols,
+                )
+                layers.append(
+                    self.layer_cost(
+                        record.name, schedule, input_shape, record.fused_activation
+                    )
+                )
         if not layers:
             raise ScheduleError(f"{network.name}: no compute layers to cost")
-        return ModelCost(
+        cost = ModelCost(
             model=network.name,
             accelerator=self.arch.name,
             layers=tuple(layers),
             total_macs=stats.total_macs,
         )
+        session = _telemetry_active()
+        if session is not None:
+            # Export the *modeled* totals as gauges so a trace run carries
+            # the analytical predictions next to the measured events.
+            metrics = session.metrics
+            for layer in layers:
+                labels = {"model": network.name, "arch": self.arch.name,
+                          "layer": layer.name}
+                metrics.gauge(
+                    "repro_modeled_layer_time_seconds",
+                    "Analytical per-inference latency of one layer",
+                    **labels,
+                ).set(layer.time_s)
+                metrics.gauge(
+                    "repro_modeled_layer_energy_joules",
+                    "Analytical per-inference energy of one layer",
+                    **labels,
+                ).set(layer.energy_j)
+        return cost

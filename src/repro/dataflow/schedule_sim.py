@@ -23,6 +23,7 @@ from repro.dataflow.cost_model import PhotonicArch
 from repro.dataflow.tiling import TileSchedule
 from repro.errors import ConfigError, ScheduleError
 from repro.nn.graph import Network
+from repro.telemetry.session import trace_span as _trace_span
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,47 @@ class ModelSimResult:
         """Total streaming energy across layers [J]."""
         return sum(layer.streaming_energy_j for layer in self.layers)
 
+    def to_chrome_trace(self) -> dict:
+        """The modeled tile timeline as a Chrome ``trace_event`` document.
+
+        The clock is the *simulated* device clock, not wall time: each
+        tile residency becomes two complete events on its PE's track — a
+        ``write`` slice and a ``stream`` slice — with layers laid out
+        sequentially (layer k starts where layer k-1's makespan ended).
+        Requires the simulation to have kept events
+        (``keep_events=True``); layers simulated without events
+        contribute nothing but still advance the clock.
+        """
+        events: list[dict] = []
+        offset = 0.0
+        for index, layer in enumerate(self.layers):
+            for ev in layer.events:
+                common = {
+                    "cat": "schedule",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": ev.pe,
+                    "args": {"layer": layer.name, "tile": ev.tile},
+                }
+                events.append(
+                    {
+                        "name": f"write {layer.name}/{ev.tile}",
+                        "ts": (offset + ev.start_s) * 1e6,
+                        "dur": (ev.write_end_s - ev.start_s) * 1e6,
+                        **common,
+                    }
+                )
+                events.append(
+                    {
+                        "name": f"stream {layer.name}/{ev.tile}",
+                        "ts": (offset + ev.write_end_s) * 1e6,
+                        "dur": (ev.end_s - ev.write_end_s) * 1e6,
+                        **common,
+                    }
+                )
+            offset += layer.makespan_s
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
 
 def simulate_model(
     network: Network,
@@ -148,13 +190,17 @@ def simulate_model(
     """Simulate every compute layer sequentially (dependency order)."""
     arch = arch or PhotonicArch.trident()
     results = []
-    for record in network.stats().layers:
-        if record.gemm is None:
-            continue
-        schedule = TileSchedule(record.gemm, arch.bank_rows, arch.bank_cols)
-        results.append(
-            simulate_layer(record.name, schedule, arch, batch, keep_events)
-        )
+    with _trace_span("simulate_model", model=network.name, arch=arch.name):
+        for record in network.stats().layers:
+            if record.gemm is None:
+                continue
+            schedule = TileSchedule(record.gemm, arch.bank_rows, arch.bank_cols)
+            with _trace_span(
+                "simulate_layer", layer=record.name, tiles=schedule.n_tiles
+            ):
+                results.append(
+                    simulate_layer(record.name, schedule, arch, batch, keep_events)
+                )
     if not results:
         raise ScheduleError(f"{network.name}: no compute layers to simulate")
     return ModelSimResult(model=network.name, layers=tuple(results))

@@ -49,7 +49,15 @@ from repro.faults.repair import FaultManager, RepairConfig, RepairPolicy
 from repro.nn.datasets import Dataset, make_blobs, standardize
 from repro.nn.reference import DigitalMLP
 from repro.runtime.checkpoint import state_digest
+from repro.telemetry.log import get_logger
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    gauge as _metric_gauge,
+    trace_span as _trace_span,
+)
 from repro.training.insitu import InSituTrainer
+
+_log = get_logger("repro.faults.campaign")
 
 
 @dataclass(frozen=True)
@@ -554,6 +562,10 @@ def run_campaign(
         report = CampaignReport(config=config, clean_accuracy=clean)
 
         executed = 0
+        total_cells = (
+            len(config.fault_fractions) * len(config.policies) * config.trials
+        )
+        cells_done = 0
         for f_index, fraction in enumerate(config.fault_fractions):
             for policy in config.policies:
                 for trial in range(config.trials):
@@ -561,35 +573,51 @@ def run_campaign(
                         done = ledger.completed.get((fraction, policy, trial))
                         if done is not None:
                             report.rows.append(done)
+                            cells_done += 1
                             continue
                     if max_cells is not None and executed >= max_cells:
                         report.complete = False
+                        _log.info(
+                            "campaign halted by max_cells after %d executed "
+                            "cells (%d/%d complete)",
+                            executed, cells_done, total_cells,
+                        )
                         return report
                     # Same (fraction, trial) seed across policies: every
                     # policy faces the identical fault pattern and noise
                     # stream, so policy deltas are paired comparisons.
                     seed = config.seed + 1000 * f_index + trial
-                    acc = _build_accelerator(config, seed=seed)
-                    n_stuck = acc.inject_stuck_faults(
-                        fraction, stuck_level=config.stuck_level
+                    _log.debug(
+                        "campaign cell: fraction=%g policy=%s trial=%d",
+                        fraction, policy, trial,
                     )
-                    detector = FaultDetector().attach(acc)
-                    manager = FaultManager(
-                        acc,
-                        detector=detector,
-                        config=RepairConfig(policy=policy),
-                    )
-                    log = manager.deploy([w.copy() for w in weights])
-                    deploy_energy = acc.energy_estimate_j()
-                    deploy_time = acc.time_estimate_s()
-                    pred = np.argmax(acc.forward_batch(test.x), axis=1)
-                    accuracy = float(np.mean(pred == test.y))
-                    parity = _check_parity(
-                        acc, test.x[: config.parity_samples]
-                    )
-                    first, last, died_at = _training_survives(
-                        acc, manager, test, config
-                    )
+                    with _trace_span(
+                        "campaign_cell",
+                        fraction=fraction,
+                        policy=policy,
+                        trial=trial,
+                    ):
+                        acc = _build_accelerator(config, seed=seed)
+                        n_stuck = acc.inject_stuck_faults(
+                            fraction, stuck_level=config.stuck_level
+                        )
+                        detector = FaultDetector().attach(acc)
+                        manager = FaultManager(
+                            acc,
+                            detector=detector,
+                            config=RepairConfig(policy=policy),
+                        )
+                        log = manager.deploy([w.copy() for w in weights])
+                        deploy_energy = acc.energy_estimate_j()
+                        deploy_time = acc.time_estimate_s()
+                        pred = np.argmax(acc.forward_batch(test.x), axis=1)
+                        accuracy = float(np.mean(pred == test.y))
+                        parity = _check_parity(
+                            acc, test.x[: config.parity_samples]
+                        )
+                        first, last, died_at = _training_survives(
+                            acc, manager, test, config
+                        )
                     row = CampaignRow(
                         fraction=fraction,
                         policy=policy,
@@ -612,6 +640,17 @@ def run_campaign(
                         ledger.record(row)
                     report.rows.append(row)
                     executed += 1
+                    cells_done += 1
+                    _metric_counter("repro_campaign_cells_total").inc()
+                    _metric_gauge("repro_campaign_progress_ratio").set(
+                        cells_done / total_cells
+                    )
+                    _log.info(
+                        "campaign %d/%d: fraction=%g policy=%s trial=%d "
+                        "accuracy=%.3f",
+                        cells_done, total_cells, fraction, policy, trial,
+                        accuracy,
+                    )
     return report
 
 

@@ -34,6 +34,13 @@ import numpy as np
 
 from repro.errors import ConfigError, RepairError
 from repro.faults.detector import FaultDetector
+from repro.telemetry.log import get_logger
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    emit_event as _emit_event,
+)
+
+_log = get_logger("repro.faults.repair")
 
 
 class RepairPolicy(enum.Enum):
@@ -184,12 +191,24 @@ class FaultManager:
             return True
         return float(np.max(errors, initial=0.0)) <= self.config.tile_error_budget_levels
 
+    def _repaired(self, tier: str, layer_index: int, tile_index: int) -> None:
+        """Record one successful repair (log line, counter, event)."""
+        _log.info(
+            "repaired layer %d tile %d via %s", layer_index, tile_index, tier
+        )
+        _metric_counter("repro_repairs_total", tier=tier).inc()
+        _emit_event("repair", tier=tier, layer=layer_index, tile=tile_index)
+
     def _repair_tile(self, layer_index: int, tile_index: int) -> None:
         policy = self.config.policy
         if policy is RepairPolicy.NONE:
             return
         if self._tile_healthy(self._pe_of(layer_index, tile_index)):
             return
+        _log.debug(
+            "layer %d tile %d unhealthy; starting repair ladder (policy %s)",
+            layer_index, tile_index, policy.value,
+        )
 
         # Tier 1: retry with an escalating pulse budget.  Clears transient
         # non-convergence; stuck cells ignore pulses and stay flagged.
@@ -198,6 +217,7 @@ class FaultManager:
             self.acc.reprogram_tile(layer_index, tile_index, writer=writer)
             self.log.retries += 1
             if self._tile_healthy(self._pe_of(layer_index, tile_index)):
+                self._repaired("retry", layer_index, tile_index)
                 return
 
         # Tier 2: remap worn logical rows onto spare ring rows.  Screen
@@ -207,20 +227,32 @@ class FaultManager:
             if self.config.screen_spares:
                 self._screen(layer_index, tile_index)
                 if self._tile_healthy(self._pe_of(layer_index, tile_index)):
+                    self._repaired("retry", layer_index, tile_index)
                     return
             if self._remap_worn_rows(layer_index, tile_index):
                 if self._tile_healthy(self._pe_of(layer_index, tile_index)):
+                    self._repaired("spare", layer_index, tile_index)
                     return
 
         # Tier 3: migrate the whole tile to a fresh PE.
         if policy.tier >= RepairPolicy.REMAP.tier:
             if self._migrate(layer_index, tile_index):
                 if self._tile_healthy(self._pe_of(layer_index, tile_index)):
+                    self._repaired("migrate", layer_index, tile_index)
                     return
 
         # Graceful degradation: out of mechanisms — the tile keeps serving
         # with whatever accuracy its surviving cells deliver.
         self.log.tiles_unrepaired += 1
+        _log.warning(
+            "layer %d tile %d left unrepaired (policy %s exhausted); "
+            "serving degraded",
+            layer_index, tile_index, policy.value,
+        )
+        _metric_counter("repro_tiles_unrepaired_total").inc()
+        _emit_event(
+            "degradation", layer=layer_index, tile=tile_index, policy=policy.value
+        )
 
     def _pe_of(self, layer_index: int, tile_index: int) -> int:
         return self.acc.layers[layer_index].tiles[tile_index][4]
@@ -279,6 +311,10 @@ class FaultManager:
                 break
             self.log.row_remaps += 1
             moved = True
+            _log.debug(
+                "remapped row %d -> spare %d on layer %d tile %d",
+                row, best, layer_index, tile_index,
+            )
         if moved:
             # The bank refuses MVMs until the remapped rows hold weights
             # again; the reprogram is the (charged) second half of repair.
@@ -294,6 +330,9 @@ class FaultManager:
         except RepairError:
             return False
         self.log.migrations += 1
+        _log.info(
+            "migrated layer %d tile %d to a fresh PE", layer_index, tile_index
+        )
         self.acc.reprogram_tile(layer_index, tile_index)
         return True
 

@@ -44,8 +44,15 @@ import numpy as np
 from repro.errors import CheckpointError, ConfigError, ReproError
 from repro.nn.datasets import Dataset
 from repro.runtime.checkpoint import CheckpointStore
+from repro.telemetry.log import get_logger
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    emit_event as _emit_event,
+)
 
 _CHECKPOINT_KIND = "training"
+
+_log = get_logger("repro.runtime.resilient")
 
 
 @dataclass(frozen=True)
@@ -239,6 +246,9 @@ class ResilientTrainer:
         }
         self.store.save(step, payload, kind=_CHECKPOINT_KIND)
         self._last_payload = payload
+        _log.debug("checkpoint written at step %d", step)
+        _metric_counter("repro_checkpoints_written_total").inc()
+        _emit_event("checkpoint", step=step, lr=self.trainer.lr)
         return payload
 
     def _restore(self, payload: dict) -> None:
@@ -319,6 +329,11 @@ class ResilientTrainer:
                     for i in payload["incidents"]
                 ]
                 resumed_from = step_found
+                _log.info(
+                    "resuming from checkpoint at step %d (lr %.6g)",
+                    step_found, self.trainer.lr,
+                )
+                _emit_event("resume", step=step_found, lr=self.trainer.lr)
 
         checkpoints_written = 0
         if self._last_payload is None:
@@ -376,6 +391,17 @@ class ResilientTrainer:
                             lr_after=self.trainer.lr,
                         )
                     )
+                    _log.error(
+                        "aborting at step %d: %s; %d retries exhausted",
+                        step, reason, self.config.max_retries,
+                    )
+                    _metric_counter("repro_run_aborts_total").inc()
+                    _emit_event(
+                        "training_abort",
+                        step=step,
+                        reason=reason,
+                        retries=self.config.max_retries,
+                    )
                     return report(
                         False,
                         f"{reason} at step {step}; "
@@ -401,6 +427,18 @@ class ResilientTrainer:
                         restored_step=restored,
                         lr_after=self.trainer.lr,
                     )
+                )
+                _log.warning(
+                    "rollback at step %d (%s): restored step %d, lr %.6g",
+                    step, reason, restored, self.trainer.lr,
+                )
+                _metric_counter("repro_rollbacks_total").inc()
+                _emit_event(
+                    "rollback",
+                    step=step,
+                    reason=reason,
+                    restored_step=restored,
+                    lr_after=self.trainer.lr,
                 )
                 del losses[restored:]
                 step = restored

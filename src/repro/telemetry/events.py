@@ -1,0 +1,100 @@
+"""Structured, machine-parseable event records.
+
+Where spans answer "where did the time go" and metrics answer "how many",
+the event log answers "what happened": repairs, rollbacks, NaN aborts,
+checkpoint writes, graceful degradation — one timestamped record each,
+with the fields a post-mortem needs.  Records carry a monotonic sequence
+number (the ordering authority) plus a wall-clock timestamp (for humans);
+nothing from this log is ever written into checkpointed state, so the
+bit-identical save→load/resume guarantees are untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence."""
+
+    seq: int
+    kind: str
+    #: Wall-clock UNIX timestamp at emission — export-only, never
+    #: checkpointed (determinism contract).
+    wall_time_s: float
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable key order) for JSONL export."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "wall_time_s": self.wall_time_s,
+            **self.fields,
+        }
+
+
+class EventLog:
+    """Thread-safe append-only list of :class:`Event` records."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[Event] = []
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> Event:
+        """Record one event; returns the finished record."""
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                kind=kind,
+                wall_time_s=time.time(),
+                fields=fields,
+            )
+            self._records.append(event)
+            return event
+
+    @property
+    def records(self) -> tuple[Event, ...]:
+        """All events, in emission order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def of_kind(self, kind: str) -> tuple[Event, ...]:
+        """Events matching one kind."""
+        return tuple(e for e in self.records if e.kind == kind)
+
+    def to_jsonl_lines(self) -> list[str]:
+        """One compact JSON document per event."""
+        return [json.dumps(e.as_dict(), sort_keys=True) for e in self.records]
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl_lines` to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = "\n".join(self.to_jsonl_lines())
+        path.write_text(text + "\n" if text else "", encoding="utf-8")
+        return path
+
+
+class NullEventLog:
+    """Disabled log: ``emit`` does nothing and returns None."""
+
+    enabled = False
+
+    def emit(self, kind: str, **fields) -> None:
+        """Discard the event."""
+        return None
+
+    @property
+    def records(self) -> tuple:
+        """Always empty."""
+        return ()

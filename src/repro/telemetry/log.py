@@ -1,0 +1,72 @@
+"""The ``repro.*`` logging hierarchy.
+
+Library rule (PEP 282 etiquette): modules log through standard
+``logging.getLogger("repro.<subpackage>.<module>")`` loggers, and the
+package root carries a :class:`logging.NullHandler` so importing the
+library never prints anything or warns about missing handlers.  An
+*application* — the CLI, a notebook — opts into output with
+:func:`configure_cli_logging` (or its own ``logging`` setup).
+
+Severity conventions across the package:
+
+- ``DEBUG`` — per-action detail: individual repair retries, checkpoint
+  writes, campaign cell starts.
+- ``INFO`` — state changes worth a line in a run log: spare-row remaps,
+  tile migrations, campaign progress, resume points.
+- ``WARNING`` — degradation: rollbacks, tiles left unrepaired, corrupt
+  checkpoint files skipped.
+- ``ERROR`` — a run giving up: retry budget exhausted, training aborted.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: The package root logger every ``repro.*`` logger propagates into.
+ROOT_LOGGER_NAME = "repro"
+
+# Library default: silence unless the application configures handlers.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_CLI_FORMAT = "%(levelname)s %(name)s: %(message)s"
+_cli_handler: logging.Handler | None = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (prefix added if missing)."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_cli_logging(verbosity: int = 0, debug: bool = False) -> int:
+    """Attach a stderr handler to the ``repro`` root for CLI runs.
+
+    ``verbosity`` counts ``-v`` flags: 0 → WARNING, 1 → INFO, >= 2 →
+    DEBUG; ``debug`` forces DEBUG.  Idempotent — repeated calls reuse one
+    handler, adjusting its level.  Returns the effective level.
+    """
+    global _cli_handler
+    if debug or verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _cli_handler is None:
+        _cli_handler = logging.StreamHandler()
+        _cli_handler.setFormatter(logging.Formatter(_CLI_FORMAT))
+        root.addHandler(_cli_handler)
+    _cli_handler.setLevel(level)
+    root.setLevel(level)
+    return level
+
+
+def reset_cli_logging() -> None:
+    """Detach the CLI handler (tests use this to isolate configurations)."""
+    global _cli_handler
+    if _cli_handler is not None:
+        logging.getLogger(ROOT_LOGGER_NAME).removeHandler(_cli_handler)
+        _cli_handler = None
+    logging.getLogger(ROOT_LOGGER_NAME).setLevel(logging.NOTSET)

@@ -1,0 +1,64 @@
+"""The one delta-snapshot implementation for hardware event attribution.
+
+Everything that measures "what did the hardware do inside this region" —
+the span tracer's accelerator-attached spans and the
+:class:`~repro.arch.profiler.Profiler` alike — goes through
+:class:`HardwareSnapshot`: capture on entry, :meth:`~HardwareSnapshot.
+delta` on exit.  Counters come from the accelerator's
+:class:`~repro.arch.accelerator.EventCounters` and (in detail mode) each
+PE's :class:`~repro.arch.weight_bank.BankStats`, so measurement adds no
+bookkeeping to the hot paths themselves and never mutates accelerator
+state — which is what keeps telemetry-enabled runs bit-identical to
+disabled ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.weight_bank import BankStats
+
+
+@dataclass(frozen=True)
+class HardwareDelta:
+    """Events accumulated between a snapshot and a later observation."""
+
+    #: ``EventCounters`` delta (later minus snapshot).
+    counters: object
+    #: Per-PE ``BankStats`` deltas keyed by PE index; empty unless the
+    #: snapshot was captured with ``detail=True``.  PEs allocated after
+    #: the snapshot (a tile migration) diff against a zero baseline.
+    per_pe: dict[int, BankStats]
+
+
+class HardwareSnapshot:
+    """Immutable capture of an accelerator's cumulative event state."""
+
+    __slots__ = ("_counters", "_bank")
+
+    def __init__(self, counters, bank: dict[int, BankStats] | None) -> None:
+        self._counters = counters
+        self._bank = bank
+
+    @classmethod
+    def capture(cls, accelerator, detail: bool = False) -> "HardwareSnapshot":
+        """Snapshot ``accelerator.counters`` (and per-PE stats if ``detail``)."""
+        bank = None
+        if detail:
+            bank = {
+                i: pe.bank.stats.merge(BankStats())
+                for i, pe in enumerate(accelerator.pes)
+            }
+        return cls(accelerator.counters.snapshot(), bank)
+
+    def delta(self, accelerator) -> HardwareDelta:
+        """Events the accelerator accumulated since this snapshot."""
+        per_pe: dict[int, BankStats] = {}
+        if self._bank is not None:
+            for i, pe in enumerate(accelerator.pes):
+                base = self._bank.get(i, BankStats())
+                per_pe[i] = pe.bank.stats.diff(base)
+        return HardwareDelta(
+            counters=accelerator.counters.diff(self._counters),
+            per_pe=per_pe,
+        )

@@ -45,6 +45,11 @@ from repro.arch.accelerator import TridentAccelerator
 from repro.arch.control import OperatingMode, RangeNormalizer
 from repro.errors import MappingError, ShapeError
 from repro.nn.reference import cross_entropy_loss
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    histogram as _metric_histogram,
+    trace_span as _trace_span,
+)
 
 _GRAD_EPS = 1e-12
 
@@ -242,19 +247,25 @@ class InSituTrainer:
             raise ShapeError("batch and labels must have matching lengths")
         layers = self.acc.layers
         batch = x_batch.shape[0]
-        logits = self.acc.forward_batch(x_batch, record=True)
-        loss, grad = cross_entropy_loss(logits, labels)
-        # cross_entropy_loss returns the mean-loss gradient (divided by B);
-        # the backward pass streams per-sample deltas, so undo the division
-        # here and reapply it at the update — mirroring the per-sample path.
-        grads = self.backward_batch(grad * batch)
-        new_weights = [
-            layer.weights - self.lr * g / batch for layer, g in zip(layers, grads)
-        ]
-        # One reprogram per layer per batch: weights re-enter the GST grid.
-        self.acc.set_weights(new_weights)
-        if self.acc.control.set_mode(OperatingMode.INFERENCE):
-            self.acc.counters.mode_switches += 1
+        with _trace_span("train_step", accelerator=self.acc, batch=batch):
+            logits = self.acc.forward_batch(x_batch, record=True)
+            loss, grad = cross_entropy_loss(logits, labels)
+            # cross_entropy_loss returns the mean-loss gradient (divided by
+            # B); the backward pass streams per-sample deltas, so undo the
+            # division here and reapply it at the update — mirroring the
+            # per-sample path.
+            with _trace_span("backward_batch", accelerator=self.acc, batch=batch):
+                grads = self.backward_batch(grad * batch)
+            new_weights = [
+                layer.weights - self.lr * g / batch for layer, g in zip(layers, grads)
+            ]
+            # One reprogram per layer per batch: weights re-enter the grid.
+            with _trace_span("weight_update", accelerator=self.acc, batch=batch):
+                self.acc.set_weights(new_weights)
+            if self.acc.control.set_mode(OperatingMode.INFERENCE):
+                self.acc.counters.mode_switches += 1
+        _metric_counter("repro_train_steps_total").inc()
+        _metric_histogram("repro_train_loss").observe(loss)
         return loss
 
     def train_step_streaming(self, x_batch: np.ndarray, labels: np.ndarray) -> float:
@@ -274,26 +285,32 @@ class InSituTrainer:
         layers = self.acc.layers
         accum = [np.zeros((l.out_dim, l.in_dim)) for l in layers]
         total_loss = 0.0
-        for i, (x, label) in enumerate(zip(x_batch, labels)):
-            if i > 0:
-                # The previous sample's backward pass left W^T / outer-
-                # product operands in the banks; the control unit restores
-                # the forward weights (a real retuning cost — counted).
-                self.acc.set_weights([layer.weights for layer in layers])
-            logits = self.acc.forward(x, record=True)
-            loss, grad = cross_entropy_loss(logits[None, :], np.array([label]))
-            total_loss += loss
-            grads = self.backward_sample(grad[0])
-            for a, g in zip(accum, grads):
-                a += g
         batch = x_batch.shape[0]
-        new_weights = [
-            layer.weights - self.lr * a / batch for layer, a in zip(layers, accum)
-        ]
-        # One reprogram per layer per batch: weights re-enter the GST grid.
-        self.acc.set_weights(new_weights)
-        if self.acc.control.set_mode(OperatingMode.INFERENCE):
-            self.acc.counters.mode_switches += 1
+        with _trace_span(
+            "train_step_streaming", accelerator=self.acc, batch=batch
+        ):
+            for i, (x, label) in enumerate(zip(x_batch, labels)):
+                if i > 0:
+                    # The previous sample's backward pass left W^T / outer-
+                    # product operands in the banks; the control unit
+                    # restores the forward weights (a real retuning cost —
+                    # counted).
+                    self.acc.set_weights([layer.weights for layer in layers])
+                logits = self.acc.forward(x, record=True)
+                loss, grad = cross_entropy_loss(logits[None, :], np.array([label]))
+                total_loss += loss
+                grads = self.backward_sample(grad[0])
+                for a, g in zip(accum, grads):
+                    a += g
+            new_weights = [
+                layer.weights - self.lr * a / batch for layer, a in zip(layers, accum)
+            ]
+            # One reprogram per layer per batch: weights re-enter the grid.
+            self.acc.set_weights(new_weights)
+            if self.acc.control.set_mode(OperatingMode.INFERENCE):
+                self.acc.counters.mode_switches += 1
+        _metric_counter("repro_train_steps_total").inc()
+        _metric_histogram("repro_train_loss").observe(total_loss / batch)
         return total_loss / batch
 
     # ------------------------------------------------------------------

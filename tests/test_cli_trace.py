@@ -1,0 +1,139 @@
+"""CLI tests for the observability surface: ``repro trace``,
+``--metrics-out`` on train/faults, and the ``-v``/``--debug`` flags."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Telemetry and CLI logging state never leaks between tests."""
+    telemetry.disable()
+    telemetry.reset_cli_logging()
+    yield
+    telemetry.disable()
+    telemetry.reset_cli_logging()
+
+
+@pytest.fixture
+def run(capsys):
+    """Invoke the CLI in-process; returns (exit_code, stdout)."""
+
+    def _run(*argv):
+        code = main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    return _run
+
+
+class TestTraceCommand:
+    def test_smoke_passes_and_artifacts_are_valid(self, run, tmp_path):
+        out = tmp_path / "run.trace.json"
+        code, text = run("trace", "--smoke", "--out", str(out))
+        assert code == 0
+        assert "FAIL" not in text
+        for label in (
+            "chrome trace schema valid",
+            "span coverage >= 95%",
+            "repair-tier + rollback counters exposed",
+            "rollback exercised",
+            "training completed",
+        ):
+            assert f"OK   {label}" in text
+
+        # The trace artifact is independently schema-valid...
+        doc = json.loads(out.read_text())
+        assert telemetry.validate_chrome_trace(doc) == []
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        for expected in (
+            "trace_workload", "deploy_and_repair", "training",
+            "inference", "modeling", "forward_batch", "train_step",
+        ):
+            assert expected in names
+
+        # ...the metrics dump parses and carries the gated counters...
+        samples = telemetry.parse_prometheus_text(
+            (tmp_path / "run.metrics.prom").read_text()
+        )
+        assert samples["repro_rollbacks_total"] >= 1
+        assert 'repro_repairs_total{tier="retry"}' in samples
+
+        # ...and the event log is line-parseable JSONL with a rollback.
+        lines = (tmp_path / "run.events.jsonl").read_text().splitlines()
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "rollback" in kinds
+        assert "checkpoint" in kinds
+
+    def test_no_active_session_leaks_after_trace(self, run, tmp_path):
+        run("trace", "--smoke", "--out", str(tmp_path / "t.trace.json"))
+        assert not telemetry.enabled()
+
+
+class TestMetricsOutFlag:
+    def test_train_metrics_out(self, run, tmp_path):
+        dump = tmp_path / "train.prom"
+        code, text = run(
+            "train", "--steps", "6", "--checkpoint-every", "3",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--metrics-out", str(dump),
+        )
+        assert code == 0
+        assert f"metrics written to {dump}" in text
+        samples = telemetry.parse_prometheus_text(dump.read_text())
+        assert samples["repro_train_steps_total"] == 6
+        assert samples["repro_checkpoints_written_total"] >= 1
+
+    def test_faults_smoke_metrics_out(self, run, tmp_path):
+        dump = tmp_path / "faults.prom"
+        code, _ = run("faults", "--smoke", "--metrics-out", str(dump))
+        assert code == 0
+        samples = telemetry.parse_prometheus_text(dump.read_text())
+        assert samples["repro_campaign_cells_total"] >= 1
+        assert samples["repro_campaign_progress_ratio"] == 1.0
+
+
+class TestVerbosityFlags:
+    def test_verbose_enables_info_logging(self, capsys):
+        code = main(["-v", "models"])
+        assert code == 0
+        import logging
+
+        assert logging.getLogger("repro").level == logging.INFO
+
+    def test_debug_flag_forces_debug(self):
+        import logging
+
+        main(["--debug", "models"])
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_default_is_warning(self):
+        import logging
+
+        main(["models"])
+        assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestParserWiring:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out is None
+        assert args.dims == [6, 8, 3]
+        assert args.smoke is False
+
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(["-vv", "trace"])
+        assert args.verbose == 2
+
+    def test_metrics_out_accepted_on_train_and_faults(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["train", "--metrics-out", "m.prom"]
+        ).metrics_out == "m.prom"
+        assert parser.parse_args(
+            ["faults", "--smoke", "--metrics-out", "m.prom"]
+        ).metrics_out == "m.prom"
