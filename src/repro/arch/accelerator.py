@@ -39,7 +39,12 @@ from repro.devices.noise import NoiseModel
 from repro.devices.photodetector import BalancedPhotodetector
 from repro.devices.program_verify import ProgramVerifyConfig, ProgramVerifyWriter
 from repro.errors import MappingError, RepairError, ShapeError
-from repro.telemetry.session import counter as _metric_counter, trace_span as _trace_span
+from repro.telemetry.metrics import NULL_INSTRUMENT
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    gauge as _metric_gauge,
+    trace_span as _trace_span,
+)
 
 
 @dataclass
@@ -531,6 +536,17 @@ class TridentAccelerator:
             self.counters.mode_switches += 1
         batch = xs.shape[0]
         value = xs.T  # (features, batch)
+        # Live power streaming: snapshot the hardware-time/energy estimate
+        # so the window this batch executes over can be emitted as a timed
+        # power sample.  One shared gauge (same series the modeled
+        # power-trace replay feeds); skipped entirely when telemetry is
+        # off — the estimate roll-ups are not free.
+        power_gauge = _metric_gauge(
+            "repro_power_draw_w", "Chip power draw over hardware time [W]"
+        )
+        if power_gauge is not NULL_INSTRUMENT:
+            energy_before = self.energy_estimate_j()
+            time_before = self.time_estimate_s()
         with _trace_span("forward_batch", accelerator=self, batch=batch):
             for layer in self.layers:
                 if layer.weights is None:
@@ -579,6 +595,13 @@ class TridentAccelerator:
                         value = logits
         _metric_counter("repro_forward_batches_total").inc()
         _metric_counter("repro_forward_samples_total").inc(batch)
+        if power_gauge is not NULL_INSTRUMENT:
+            time_after = self.time_estimate_s()
+            if time_after > time_before:
+                mean_power_w = (self.energy_estimate_j() - energy_before) / (
+                    time_after - time_before
+                )
+                power_gauge.set_at(mean_power_w, time_after)
         return value.T
 
     # ------------------------------------------------------------------

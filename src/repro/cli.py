@@ -605,6 +605,122 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a synthetic open-loop Poisson workload on simulated workers.
+
+    Three phases — warm (under capacity), burst (overload), drain — with
+    one worker forced into PCM degradation mid-run, so the full
+    robustness ladder runs under live traffic: priority-aware shedding,
+    deadline enforcement, retries, breaker trip / repair / restore.
+    With ``--smoke``, replays the run (telemetry disabled) and audits
+    the robustness invariants as a CI gate.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.serving import (
+        Phase,
+        ServerConfig,
+        WorkloadConfig,
+        run_serve_workload,
+        shed_rate_by_priority,
+        smoke_checks,
+    )
+
+    requests = args.requests
+    if requests is None:
+        requests = 400 if args.smoke else 800
+    config = WorkloadConfig(
+        dims=tuple(args.dims),
+        n_workers=args.workers,
+        seed=args.seed,
+        phases=(
+            Phase("warm", requests, 0.6),
+            Phase("burst", requests, args.burst),
+            Phase("drain", requests, 0.35),
+        ),
+        server=ServerConfig(
+            max_queue_depth=args.queue_depth,
+            max_batch=args.batch,
+            slo_latency_s=args.slo_us * 1e-6,
+            max_retries=2,
+            retry_backoff_s=5e-7,
+            retry_jitter_s=1e-7,
+            breaker_failure_threshold=3,
+            breaker_cooldown_s=5e-6,
+            seed=args.seed,
+            executor_threads=args.threads,
+        ),
+    )
+
+    out_path = metrics_path = events_path = None
+    if args.smoke and args.out is None:
+        args.out = str(
+            Path(tempfile.mkdtemp(prefix="repro-serve-")) / "serve.trace.json"
+        )
+    if args.out:
+        out_path = Path(args.out)
+        metrics_path = Path(
+            args.metrics_out
+            or out_path.with_suffix("").with_suffix(".metrics.prom")
+        )
+        events_path = Path(
+            args.events_out or out_path.with_suffix("").with_suffix(".events.jsonl")
+        )
+
+    with telemetry.session() as t:
+        report, _server = run_serve_workload(config)
+        if out_path:
+            t.tracer.write_chrome_trace(out_path)
+            t.metrics.write_prometheus(metrics_path)
+            t.events.write_jsonl(events_path)
+            samples = telemetry.parse_prometheus_text(
+                metrics_path.read_text(encoding="utf-8")
+            )
+            trace_problems = telemetry.validate_chrome_trace(
+                json.loads(out_path.read_text(encoding="utf-8"))
+            )
+
+    print(report.render())
+    rates = shed_rate_by_priority(report)
+    if rates:
+        shed_line = ", ".join(
+            f"p{priority}={rate * 100:.1f}%" for priority, rate in rates.items()
+        )
+        print(f"  shed rate by priority: {shed_line}")
+    if out_path:
+        print(f"trace written to {out_path}")
+        print(f"metrics written to {metrics_path} ({len(samples)} samples)")
+        print(f"events written to {events_path} ({len(t.events.records)} events)")
+
+    if not args.smoke:
+        return 0
+
+    # Replay with telemetry disabled: same decisions proves both seeded
+    # determinism and that observability never perturbs the simulation.
+    replay, _ = run_serve_workload(config)
+    checks = smoke_checks(report, replay)
+    if out_path:
+        expected_samples = (
+            "repro_requests_admitted_total",
+            "repro_requests_completed_total",
+            'repro_requests_shed_total{reason="queue_full"}',
+            'repro_breaker_transitions_total{to="open"}',
+            "repro_serve_queue_depth",
+            "repro_power_draw_w",
+        )
+        missing = [key for key in expected_samples if key not in samples]
+        checks.append(("chrome trace schema valid", not trace_problems))
+        checks.append(("serving + power metrics exposed", not missing))
+    ok = True
+    for label, passed in checks:
+        print(f"  {'OK  ' if passed else 'FAIL'} {label}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     """Inspect a checkpoint file: schema, kind, hash, integrity verdict."""
     from repro.runtime import describe_checkpoint
@@ -835,6 +951,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
+        "serve",
+        help="serve a synthetic request workload with fault-aware admission",
+    )
+    p.add_argument("--dims", type=int, nargs="+", default=[12, 16, 4])
+    p.add_argument("--workers", type=int, default=2,
+                   help="number of simulated accelerator workers")
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests per phase (default 800; 400 with --smoke)")
+    p.add_argument("--burst", type=float, default=2.0,
+                   help="burst-phase arrival rate, x sustainable throughput")
+    p.add_argument("--batch", type=int, default=16,
+                   help="micro-batch size cap")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission queue depth bound")
+    p.add_argument("--slo-us", type=float, default=10.0,
+                   help="latency SLO in microseconds of virtual time")
+    p.add_argument("--threads", type=int, default=0,
+                   help="thread-pool size for batch execution (0 = inline)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="Chrome trace output (--smoke defaults to a temp dir)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="Prometheus dump (default: next to --out)")
+    p.add_argument("--events-out", metavar="PATH", default=None,
+                   help="structured-event JSONL (default: next to --out)")
+    p.add_argument("--smoke", action="store_true",
+                   help="replay + robustness self-audit (CI serving gate)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
         "checkpoint", help="inspect a checkpoint file (schema/kind/hash)"
     )
     p.add_argument("path")
@@ -856,12 +1002,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Domain failures (:class:`~repro.errors.ReproError` — fault
+    escalations, repair exhaustion, checkpoint corruption, bad serving
+    configs, …) exit with code 2 and a one-line structured message on
+    stderr instead of a traceback; tracebacks are reserved for actual
+    bugs.
+    """
     args = build_parser().parse_args(argv)
+    from repro.errors import ReproError
     from repro.telemetry import configure_cli_logging
 
     configure_cli_logging(verbosity=args.verbose, debug=args.debug)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(
+            f"repro: error: {type(error).__name__}: {error}", file=sys.stderr
+        )
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,7 +13,12 @@ energy metrics" (Sec. IV).  This package is that analysis, rebuilt:
 - :mod:`repro.dataflow.report` — cost records and aggregation.
 """
 
-from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
+from repro.dataflow.cost_model import (
+    PhotonicArch,
+    PhotonicCostModel,
+    forward_batch_latency_s,
+)
+from repro.dataflow.power_trace import PowerTrace, power_trace, stream_power_trace
 from repro.dataflow.report import LayerCost, ModelCost
 from repro.dataflow.schedule_sim import (
     LayerSimResult,
@@ -32,9 +37,13 @@ __all__ = [
     "ModelSimResult",
     "simulate_layer",
     "simulate_model",
+    "forward_batch_latency_s",
     "LayerCost",
     "ModelCost",
     "PhotonicArch",
     "PhotonicCostModel",
+    "power_trace",
+    "PowerTrace",
+    "stream_power_trace",
     "TileSchedule",
 ]

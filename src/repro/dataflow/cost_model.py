@@ -307,3 +307,41 @@ class PhotonicCostModel:
                     **labels,
                 ).set(layer.energy_j)
         return cost
+
+
+# ---------------------------------------------------------------------------
+# Serving-path latency estimate
+# ---------------------------------------------------------------------------
+def forward_batch_latency_s(
+    arch: PhotonicArch,
+    layer_reduction_tiles: "list[int] | tuple[int, ...]",
+    batch: int,
+    overhead_s: float = 0.0,
+) -> float:
+    """Per-batch latency estimate for a weight-stationary serving dispatch.
+
+    The serving micro-batcher sizes batches against a latency SLO using
+    this estimate: weights are already programmed (no write time), each
+    layer streams its B-sample slab through its row tiles in parallel
+    (they live on distinct PEs) while column *reduction* tiles serialize
+    electronically — the same per-layer ``tiles_k`` term the functional
+    engine's :meth:`~repro.arch.TridentAccelerator.pipeline_latency_s`
+    charges, scaled by the batch.  ``overhead_s`` is the fixed
+    per-dispatch cost (control-unit setup, DAC staging) that makes
+    coalescing worthwhile in the first place.
+
+    ``layer_reduction_tiles`` holds each mapped layer's column-tile count
+    (``ceil(in_dim / bank_cols)``).
+    """
+    if batch < 1:
+        raise ConfigError(f"batch must be positive, got {batch}")
+    if overhead_s < 0:
+        raise ConfigError(f"overhead must be non-negative, got {overhead_s}")
+    if not layer_reduction_tiles:
+        raise ConfigError("need at least one layer to estimate latency")
+    if any(t < 1 for t in layer_reduction_tiles):
+        raise ConfigError(
+            f"reduction tile counts must be positive, got {layer_reduction_tiles}"
+        )
+    symbols = batch * sum(int(t) for t in layer_reduction_tiles)
+    return overhead_s + symbols / arch.symbol_rate_hz

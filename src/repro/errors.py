@@ -52,6 +52,18 @@ class TrainingAbortedError(ReproError):
     structured ``RunReport`` instead."""
 
 
+class ServingError(ReproError):
+    """An invalid serving-layer configuration or scheduling operation."""
+
+
+class WorkerFault(ServingError):
+    """A serving worker's accelerator is too degraded to trust its
+    outputs: the batch it was executing failed and its requests must be
+    retried elsewhere or shed.  Raised by
+    :meth:`repro.serving.AcceleratorWorker.execute`; the server converts
+    it into retry/shed decisions — it never escapes the serving loop."""
+
+
 class MappingError(ReproError):
     """A neural-network layer could not be mapped onto the hardware."""
 

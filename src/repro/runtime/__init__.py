@@ -9,6 +9,7 @@ learning rate, and repairs faults before retrying
 (:mod:`repro.runtime.resilient`).
 """
 
+from repro.runtime.clock import VirtualClock
 from repro.runtime.checkpoint import (
     SCHEMA_VERSION,
     CheckpointStore,
@@ -39,4 +40,5 @@ __all__ = [
     "ResilientTrainer",
     "RunIncident",
     "RunReport",
+    "VirtualClock",
 ]

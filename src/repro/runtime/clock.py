@@ -1,0 +1,47 @@
+"""Deterministic virtual time for replayable schedulers.
+
+The serving layer (and any future discrete-event runtime component) must
+replay bit-identically from a seed, which rules out ``time.monotonic()``
+as a scheduling authority.  A :class:`VirtualClock` is the alternative:
+a monotonically advancing float the owning event loop moves explicitly.
+Nothing here reads the wall clock, so two runs that advance the clock
+through the same sequence of instants are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+
+
+class VirtualClock:
+    """Explicitly advanced simulation time (seconds, monotone)."""
+
+    __slots__ = ("_now_s",)
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if not start_s >= 0.0:
+            raise ServingError(f"clock must start at t >= 0, got {start_s}")
+        self._now_s = float(start_s)
+
+    def now(self) -> float:
+        """Current virtual time [s]."""
+        return self._now_s
+
+    def advance(self, dt_s: float) -> float:
+        """Move forward by ``dt_s`` (must be >= 0); returns the new time."""
+        if dt_s < 0:
+            raise ServingError(f"cannot advance by negative dt {dt_s}")
+        self._now_s += float(dt_s)
+        return self._now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Jump to absolute time ``t_s`` (must not move backwards)."""
+        if t_s < self._now_s:
+            raise ServingError(
+                f"cannot rewind clock from {self._now_s} to {t_s}"
+            )
+        self._now_s = float(t_s)
+        return self._now_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(t={self._now_s!r})"

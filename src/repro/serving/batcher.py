@@ -1,0 +1,79 @@
+"""SLO-driven micro-batch coalescing.
+
+The batcher answers one question for the dispatch loop: *given what is
+queued now and when the next refill could arrive, should this idle worker
+take a batch immediately or wait to coalesce a fuller one?*  Waiting
+amortizes the fixed per-dispatch overhead across more samples; the limit
+on waiting is the head request's latency budget, priced with the
+dataflow cost model's per-batch latency estimate
+(:func:`repro.dataflow.cost_model.forward_batch_latency_s` via the
+worker's ``service_time_s``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ServingError
+from repro.serving.queue import AdmissionQueue
+
+
+class MicroBatcher:
+    """Decides when a micro-batch is ready to close."""
+
+    def __init__(self, max_batch: int, slo_latency_s: float) -> None:
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if slo_latency_s <= 0:
+            raise ServingError(
+                f"SLO latency must be positive, got {slo_latency_s}"
+            )
+        self.max_batch = int(max_batch)
+        self.slo_latency_s = float(slo_latency_s)
+
+    def budget_end_s(self, request) -> float:
+        """Absolute instant the request should be finished by.
+
+        The explicit deadline when one is attached; otherwise arrival +
+        the configured SLO target (best-effort requests still shape
+        batching — they just cannot be deadline-shed).
+        """
+        if request.deadline_s is not None:
+            return request.deadline_s
+        return request.arrival_s + self.slo_latency_s
+
+    def should_dispatch(
+        self,
+        queue: AdmissionQueue,
+        now_s: float,
+        next_refill_s: float | None,
+        service_time_fn,
+    ) -> bool:
+        """True when an idle worker should take a batch *now*.
+
+        ``service_time_fn(batch_size)`` is the worker's cost-model
+        latency estimate; ``next_refill_s`` is the next instant the queue
+        could grow (next arrival or retry release), or None when no more
+        are coming.
+
+        Dispatch immediately when the batch is already full or nothing
+        further is coming.  Otherwise wait only if serving the head
+        request in a (one larger) batch that closes at the refill instant
+        would still land inside the head's budget — the cost model prices
+        that hypothetical finish.
+        """
+        depth = len(queue)
+        if depth == 0:
+            return False
+        if depth >= self.max_batch:
+            return True
+        if next_refill_s is None or math.isinf(next_refill_s):
+            return True
+        head = queue.peek()
+        grown = min(depth + 1, self.max_batch)
+        finish_if_waiting = next_refill_s + service_time_fn(grown)
+        return finish_if_waiting > self.budget_end_s(head)
+
+    def size_batch(self, queue: AdmissionQueue) -> int:
+        """How many requests the next dispatch should take."""
+        return min(len(queue), self.max_batch)

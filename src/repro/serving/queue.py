@@ -1,0 +1,117 @@
+"""Bounded, priority-ordered admission queue with deterministic eviction.
+
+The queue is the server's backpressure mechanism: depth is capped, and
+when full a newly arriving request is admitted only by *displacing* a
+strictly lower-priority resident (the youngest of the lowest-priority
+tier, so earlier peers of equal rank keep their place).  Ordering is a
+total deterministic key — ``(-priority, arrival_s, request_id)`` — so
+two runs with the same arrival schedule pop identical batches.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import ServingError
+from repro.serving.request import InferenceRequest
+
+
+def _order_key(req: InferenceRequest) -> tuple:
+    return (-req.priority, req.arrival_s, req.request_id)
+
+
+def _eviction_key(req: InferenceRequest) -> tuple:
+    # Lowest priority first; among equals the *youngest* goes (it has had
+    # the least time invested and displacing it reorders the least).
+    return (req.priority, -req.arrival_s, -req.request_id)
+
+
+class AdmissionQueue:
+    """Depth-bounded priority queue of pending requests."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ServingError(f"queue depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._keys: list[tuple] = []
+        self._items: list[InferenceRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when the queue is at its depth bound."""
+        return len(self._items) >= self.max_depth
+
+    def peek(self) -> InferenceRequest | None:
+        """Highest-ranked pending request, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def push(self, request: InferenceRequest) -> None:
+        """Insert below the depth bound (use :meth:`offer` at the edge)."""
+        if self.full:
+            raise ServingError("queue full; admission must go through offer()")
+        key = _order_key(request)
+        index = bisect.bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._items.insert(index, request)
+
+    def offer(
+        self, request: InferenceRequest
+    ) -> tuple[bool, InferenceRequest | None]:
+        """Try to admit ``request``; returns ``(admitted, evicted)``.
+
+        Below the bound: admitted, nothing evicted.  At the bound: the
+        lowest-priority resident is evicted iff the newcomer strictly
+        outranks it; otherwise the newcomer is refused.
+        """
+        if not self.full:
+            self.push(request)
+            return True, None
+        victim = min(self._items, key=_eviction_key)
+        if request.priority <= victim.priority:
+            return False, None
+        self.remove(victim)
+        self.push(request)
+        return True, victim
+
+    def remove(self, request: InferenceRequest) -> None:
+        """Remove a specific resident (must be present)."""
+        index = self._keys.index(_order_key(request))
+        del self._keys[index]
+        del self._items[index]
+
+    def pop_batch(self, limit: int) -> list[InferenceRequest]:
+        """Pop up to ``limit`` requests in priority order."""
+        if limit < 1:
+            raise ServingError(f"batch limit must be >= 1, got {limit}")
+        taken = self._items[:limit]
+        del self._items[:limit]
+        del self._keys[:limit]
+        return taken
+
+    def drop_hopeless(
+        self, now_s: float, min_service_s: float
+    ) -> list[InferenceRequest]:
+        """Remove queued requests that can no longer meet their deadline.
+
+        A request is hopeless once even an immediate solo dispatch would
+        finish past its deadline — the "early shedding" half of deadline
+        enforcement: capacity is never spent on work that is already lost.
+        """
+        kept_keys: list[tuple] = []
+        kept_items: list[InferenceRequest] = []
+        dropped: list[InferenceRequest] = []
+        for key, req in zip(self._keys, self._items):
+            if req.slack_s(now_s) < min_service_s:
+                dropped.append(req)
+            else:
+                kept_keys.append(key)
+                kept_items.append(req)
+        self._keys, self._items = kept_keys, kept_items
+        return dropped
+
+    def snapshot(self) -> tuple[InferenceRequest, ...]:
+        """Pending requests in pop order (for reports/tests)."""
+        return tuple(self._items)

@@ -1,0 +1,93 @@
+"""Request and outcome types for the serving layer.
+
+Every request submitted to the server terminates in exactly one of two
+structured outcomes: a :class:`CompletedRequest` carrying the output and
+its latency, or a :class:`RejectedRequest` carrying a :class:`ShedReason`.
+Nothing is ever silently dropped and no serving decision surfaces as an
+unhandled exception — the conservation invariant the property tests
+enforce (`submitted == completed + shed`, per request id).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ShedReason(enum.Enum):
+    """Why a request was rejected instead of served."""
+
+    #: Admission queue at capacity and the request did not outrank anyone.
+    QUEUE_FULL = "queue_full"
+    #: Evicted from a full queue by a newly arrived higher-priority request.
+    PRIORITY_EVICTED = "priority_evicted"
+    #: Admission-time estimate says the deadline cannot possibly be met.
+    DEADLINE_UNREACHABLE = "deadline_unreachable"
+    #: Queued, but the deadline expired (or became hopeless) before dispatch.
+    DEADLINE_EXPIRED = "deadline_expired"
+    #: Failed on degraded workers more times than the retry budget allows.
+    RETRIES_EXHAUSTED = "retries_exhausted"
+    #: No worker can ever take traffic again (all breakers dead at drain).
+    NO_WORKER = "no_worker"
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference sample plus its service constraints."""
+
+    request_id: int
+    #: (n_in,) input vector for the mapped network.
+    x: np.ndarray
+    #: Virtual arrival time [s].
+    arrival_s: float
+    #: Absolute completion deadline [s]; None means best-effort.
+    deadline_s: float | None = None
+    #: Larger values outrank smaller ones for admission and dispatch.
+    priority: int = 0
+
+    def slack_s(self, now_s: float) -> float:
+        """Time remaining until the deadline (inf for best-effort)."""
+        if self.deadline_s is None:
+            return math.inf
+        return self.deadline_s - now_s
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A served request: output plus where/when it ran."""
+
+    request: InferenceRequest
+    #: (n_out,) output vector from the worker's ``forward_batch``.
+    output: np.ndarray
+    worker_id: int
+    dispatch_s: float
+    finish_s: float
+    #: Total execution attempts (1 = served first try).
+    attempts: int
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency [s]."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when the request finished before its deadline (or had none)."""
+        deadline = self.request.deadline_s
+        return deadline is None or self.finish_s <= deadline
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """A shed request: always carries the reason and the decision time."""
+
+    request: InferenceRequest
+    reason: ShedReason
+    shed_s: float
+    #: Execution attempts made before shedding (0 = shed pre-dispatch).
+    attempts: int = 0
+    #: Human-readable amplification of the reason.
+    detail: str = field(default="", compare=False)

@@ -1,0 +1,773 @@
+"""The request-level serving engine: admit, coalesce, dispatch, survive.
+
+:class:`TridentServer` is a discrete-event loop over a
+:class:`~repro.runtime.clock.VirtualClock`.  Four event sources drive it
+— arrivals, batch completions, retry releases, and scheduled actions
+(e.g. a forced mid-run degradation) — and every decision it takes
+(admit / shed / dispatch / complete / fail / retry / breaker transition /
+repair) is appended to a structured decision log.  Nothing reads the
+wall clock and the only randomness is retry jitter from one seeded
+generator drawn in loop order, so the same seed and arrival schedule
+replay to a bit-identical decision log and identical per-request
+outputs.
+
+Robustness ladder, outermost first:
+
+1. **Admission control** — a request whose deadline the current backlog
+   estimate already rules out is shed immediately
+   (``deadline_unreachable``); a full queue admits only by displacing a
+   strictly lower-priority resident (``priority_evicted`` /
+   ``queue_full``).
+2. **Deadline enforcement** — queued requests whose deadline can no
+   longer be met even by an immediate solo dispatch are shed before
+   capacity is wasted on them (``deadline_expired``).
+3. **Retry with backoff** — a batch that fails on a degraded worker
+   hands its requests back for exponential-backoff + jittered retry,
+   bounded by the retry budget (``retries_exhausted``).
+4. **Circuit breaking** — repeated failures or an over-threshold health
+   signal quarantine the worker; half-open probes (preceded by a
+   fault-manager repair attempt) restore it.
+5. **Graceful drain** — if every worker is dead and nothing is in
+   flight, the residual queue sheds as ``no_worker`` instead of hanging.
+
+Every outcome is a structured object; the loop never lets a
+:class:`~repro.errors.WorkerFault` escape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError, WorkerFault
+from repro.runtime.clock import VirtualClock
+from repro.serving.batcher import MicroBatcher
+from repro.serving.breaker import BreakerState, CircuitBreaker
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import (
+    CompletedRequest,
+    InferenceRequest,
+    RejectedRequest,
+    ShedReason,
+)
+from repro.serving.worker import AcceleratorWorker
+from repro.telemetry.log import get_logger
+from repro.telemetry.session import (
+    counter as _metric_counter,
+    emit_event as _emit_event,
+    gauge as _metric_gauge,
+    histogram as _metric_histogram,
+    trace_span as _trace_span,
+)
+
+_log = get_logger("repro.serving.server")
+
+#: Latency-histogram buckets matched to microsecond-scale virtual SLOs.
+LATENCY_BUCKETS = (
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 1e-3, 1e-2, 0.1, 1.0,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for the serving loop."""
+
+    #: Admission-queue depth bound (backpressure point).
+    max_queue_depth: int = 64
+    #: Micro-batch size cap.
+    max_batch: int = 16
+    #: Latency target; also the implicit budget for deadline-less requests.
+    slo_latency_s: float = 1e-5
+    #: Execution attempts per request beyond the first.
+    max_retries: int = 2
+    #: First retry delay; attempt k waits ``backoff * factor**(k-1)``.
+    retry_backoff_s: float = 5e-7
+    retry_backoff_factor: float = 2.0
+    #: Uniform jitter added to each retry delay (decorrelates thundering
+    #: herds; drawn from the server's seeded generator).
+    retry_jitter_s: float = 1e-7
+    #: Consecutive batch failures before a worker's breaker opens.
+    breaker_failure_threshold: int = 3
+    #: Quarantine length before a half-open probe.
+    breaker_cooldown_s: float = 2e-5
+    #: Seed for the retry-jitter generator.
+    seed: int = 0
+    #: When > 0, batch executions run on a thread pool of this size
+    #: (scheduling stays single-threaded and decisions are unchanged —
+    #: only the numpy work fans out).
+    executor_threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ServingError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.slo_latency_s <= 0:
+            raise ServingError(
+                f"slo_latency_s must be positive, got {self.slo_latency_s}"
+            )
+        if self.max_retries < 0:
+            raise ServingError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0 or self.retry_jitter_s < 0:
+            raise ServingError("retry backoff and jitter must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ServingError(
+                f"retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
+        if self.executor_threads < 0:
+            raise ServingError(
+                f"executor_threads must be >= 0, got {self.executor_threads}"
+            )
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run produced, conservation-checked."""
+
+    submitted: int
+    completed: list[CompletedRequest]
+    shed: list[RejectedRequest]
+    decisions: list[dict]
+    breaker_transitions: list[dict]
+    retries_scheduled: int
+    slo_latency_s: float
+    #: Request ids that were admitted at least once.
+    admitted_ids: set[int] = field(default_factory=set)
+
+    # -- tallies -------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Requests that entered the queue at least once."""
+        return len(self.admitted_ids)
+
+    def shed_by_reason(self) -> dict[str, int]:
+        """Shed counts keyed by reason value."""
+        out: dict[str, int] = {}
+        for rejection in self.shed:
+            out[rejection.reason.value] = out.get(rejection.reason.value, 0) + 1
+        return out
+
+    def latencies_s(self) -> list[float]:
+        """Sorted completion latencies."""
+        return sorted(c.latency_s for c in self.completed)
+
+    def latency_quantile_s(self, q: float) -> float:
+        """Exact empirical latency quantile (0 when nothing completed)."""
+        lat = self.latencies_s()
+        if not lat:
+            return 0.0
+        index = min(len(lat) - 1, max(0, int(round(q * (len(lat) - 1)))))
+        return lat[index]
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *admitted* requests that completed within budget."""
+        if not self.admitted_ids:
+            return 1.0
+        met = sum(
+            1
+            for c in self.completed
+            if c.deadline_met and c.latency_s <= self.slo_latency_s
+        )
+        return met / len(self.admitted_ids)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of admitted requests that completed at all."""
+        if not self.admitted_ids:
+            return 1.0
+        return len(self.completed) / len(self.admitted_ids)
+
+    def conservation_ok(self) -> bool:
+        """Every submitted request terminated exactly once."""
+        completed_ids = {c.request.request_id for c in self.completed}
+        shed_ids = {r.request.request_id for r in self.shed}
+        return (
+            not (completed_ids & shed_ids)
+            and len(completed_ids) + len(shed_ids) == self.submitted
+            and len(self.completed) + len(self.shed) == self.submitted
+        )
+
+    def as_dict(self) -> dict:
+        """Summary (no per-request payloads) for JSON export."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": len(self.completed),
+            "shed": self.shed_by_reason(),
+            "retries_scheduled": self.retries_scheduled,
+            "breaker_transitions": list(self.breaker_transitions),
+            "p50_latency_s": self.latency_quantile_s(0.50),
+            "p99_latency_s": self.latency_quantile_s(0.99),
+            "slo_latency_s": self.slo_latency_s,
+            "slo_attainment": self.slo_attainment,
+            "completion_rate": self.completion_rate,
+            "conservation_ok": self.conservation_ok(),
+        }
+
+    def render(self) -> str:
+        """Human-readable run summary."""
+        shed = self.shed_by_reason()
+        lines = [
+            "serving summary",
+            f"  submitted            {self.submitted}",
+            f"  admitted             {self.admitted}",
+            f"  completed            {len(self.completed)}"
+            f"  ({self.completion_rate * 100:.1f}% of admitted)",
+            f"  shed                 {len(self.shed)}"
+            + (
+                "  ("
+                + ", ".join(f"{k}={v}" for k, v in sorted(shed.items()))
+                + ")"
+                if shed
+                else ""
+            ),
+            f"  retries scheduled    {self.retries_scheduled}",
+            f"  breaker transitions  {len(self.breaker_transitions)}",
+            f"  p50 latency          {self.latency_quantile_s(0.5) * 1e6:.2f} us",
+            f"  p99 latency          {self.latency_quantile_s(0.99) * 1e6:.2f} us",
+            f"  SLO target           {self.slo_latency_s * 1e6:.2f} us",
+            f"  SLO attainment       {self.slo_attainment * 100:.2f}% of admitted",
+        ]
+        return "\n".join(lines)
+
+
+# Event-category precedence at equal timestamps: free workers first, then
+# apply world changes, then release retries, then admit fresh arrivals.
+_COMPLETION, _ACTION, _RETRY, _ARRIVAL = 0, 1, 2, 3
+
+
+class TridentServer:
+    """Deterministic request-level serving over accelerator workers."""
+
+    def __init__(
+        self,
+        workers: list[AcceleratorWorker],
+        config: ServerConfig | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        if not workers:
+            raise ServingError("need at least one worker")
+        ids = [w.worker_id for w in workers]
+        if len(set(ids)) != len(ids):
+            raise ServingError(f"worker ids must be unique, got {ids}")
+        in_dims = {w.acc.layers[0].in_dim for w in workers}
+        if len(in_dims) != 1:
+            raise ServingError(
+                f"workers disagree on input width: {sorted(in_dims)}"
+            )
+        self.workers = sorted(workers, key=lambda w: w.worker_id)
+        self.config = config or ServerConfig()
+        self.clock = clock or VirtualClock()
+        self.queue = AdmissionQueue(self.config.max_queue_depth)
+        self.batcher = MicroBatcher(
+            self.config.max_batch, self.config.slo_latency_s
+        )
+        self.breakers = {
+            w.worker_id: CircuitBreaker(
+                w.worker_id,
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                on_transition=self._on_breaker_transition,
+            )
+            for w in self.workers
+        }
+        self.rng = np.random.default_rng(self.config.seed)
+        # -- run state --------------------------------------------------
+        self._busy_until: dict[int, float | None] = {
+            w.worker_id: None for w in self.workers
+        }
+        self._half_open_probed: set[int] = set()
+        self._attempts: dict[int, int] = {}
+        self._arrivals: list[InferenceRequest] = []
+        self._arrival_index = 0
+        self._retries: list[tuple[float, int, InferenceRequest]] = []
+        self._actions: list[tuple[float, int, str, object]] = []
+        self._action_index = 0
+        self._completions: list[tuple[float, int, int, tuple, float]] = []
+        self._event_seq = 0
+        self._decision_seq = 0
+        self._pool: ThreadPoolExecutor | None = None
+        # -- results ----------------------------------------------------
+        self.decisions: list[dict] = []
+        self.breaker_transitions: list[dict] = []
+        self.completed: list[CompletedRequest] = []
+        self.shed: list[RejectedRequest] = []
+        self.retries_scheduled = 0
+
+    # ------------------------------------------------------------------
+    # Decision log + telemetry plumbing
+    # ------------------------------------------------------------------
+    def _decide(self, kind: str, **fields) -> None:
+        record = {"seq": self._decision_seq, "t": self.clock.now(), "kind": kind}
+        record.update(fields)
+        self._decision_seq += 1
+        self.decisions.append(record)
+        payload = {k: v for k, v in record.items() if k != "kind"}
+        _emit_event(f"serve_{kind}", **payload)
+
+    def _on_breaker_transition(self, now_s, worker_id, before, to, reason):
+        record = {
+            "t": now_s,
+            "worker": worker_id,
+            "from": before.value,
+            "to": to.value,
+            "reason": reason,
+        }
+        self.breaker_transitions.append(record)
+        self._decide(
+            "breaker", worker=worker_id, frm=before.value, to=to.value,
+            reason=reason,
+        )
+        _metric_counter("repro_breaker_transitions_total", to=to.value).inc()
+        _log.info(
+            "breaker worker %d: %s -> %s (%s)",
+            worker_id, before.value, to.value, reason,
+        )
+
+    def _record_shed(
+        self, request: InferenceRequest, reason: ShedReason, detail: str = ""
+    ) -> None:
+        rejection = RejectedRequest(
+            request=request,
+            reason=reason,
+            shed_s=self.clock.now(),
+            attempts=self._attempts.get(request.request_id, 0),
+            detail=detail,
+        )
+        self.shed.append(rejection)
+        self._decide(
+            "shed", request=request.request_id, reason=reason.value,
+            priority=request.priority,
+        )
+        _metric_counter("repro_requests_shed_total", reason=reason.value).inc()
+
+    # ------------------------------------------------------------------
+    # Capacity estimation (admission control)
+    # ------------------------------------------------------------------
+    def _serving_workers(self) -> list[AcceleratorWorker]:
+        """Workers whose breaker is not hard-open right now."""
+        return [
+            w
+            for w in self.workers
+            if self.breakers[w.worker_id].state is not BreakerState.OPEN
+        ]
+
+    def _min_service_s(self) -> float:
+        """Fastest possible single-request service time right now."""
+        serving = self._serving_workers() or self.workers
+        return min(w.service_time_s(1) for w in serving)
+
+    def _estimate_completion_s(self, now_s: float) -> float:
+        """Conservative finish estimate for a request admitted at ``now_s``.
+
+        Prices the backlog with the cost model: everything queued ahead
+        plus this request, in full batches, spread across workers the
+        breakers currently allow, starting when the earliest of those
+        workers frees up.
+        """
+        serving = self._serving_workers()
+        if not serving:
+            return float("inf")
+        full_batch_s = max(
+            w.service_time_s(self.config.max_batch) for w in serving
+        )
+        earliest_free = min(
+            self._busy_until[w.worker_id] or now_s for w in serving
+        )
+        batches = -(-(len(self.queue) + 1) // self.config.max_batch)
+        drain_s = batches * full_batch_s / len(serving)
+        return max(now_s, earliest_free) + drain_s
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit(self, request: InferenceRequest, is_retry: bool) -> None:
+        now = self.clock.now()
+        if request.deadline_s is not None:
+            if self._estimate_completion_s(now) > request.deadline_s:
+                self._record_shed(
+                    request,
+                    ShedReason.DEADLINE_UNREACHABLE,
+                    "admission estimate past deadline",
+                )
+                return
+        admitted, evicted = self.queue.offer(request)
+        if not admitted:
+            self._record_shed(
+                request, ShedReason.QUEUE_FULL, "queue full, not outranked"
+            )
+            return
+        if evicted is not None:
+            self._record_shed(
+                evicted,
+                ShedReason.PRIORITY_EVICTED,
+                f"displaced by request {request.request_id} "
+                f"(priority {request.priority})",
+            )
+        self._decide(
+            "admit",
+            request=request.request_id,
+            priority=request.priority,
+            retry=is_retry,
+            depth=len(self.queue),
+        )
+        if not is_retry:
+            _metric_counter("repro_requests_admitted_total").inc()
+        _metric_gauge(
+            "repro_serve_queue_depth", "Admission-queue depth"
+        ).set_at(len(self.queue), now)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _next_refill_s(self) -> float | None:
+        """Next instant the queue could gain a request, if any."""
+        candidates = []
+        if self._arrival_index < len(self._arrivals):
+            candidates.append(self._arrivals[self._arrival_index].arrival_s)
+        if self._retries:
+            candidates.append(self._retries[0][0])
+        return min(candidates) if candidates else None
+
+    def _dispatch_all(self) -> None:
+        now = self.clock.now()
+        min_service = self._min_service_s()
+        for hopeless in self.queue.drop_hopeless(now, min_service):
+            self._record_shed(
+                hopeless,
+                ShedReason.DEADLINE_EXPIRED,
+                "deadline unreachable even dispatching now",
+            )
+        for worker in self.workers:
+            if not len(self.queue):
+                break
+            wid = worker.worker_id
+            if self._busy_until[wid] is not None:
+                continue
+            breaker = self.breakers[wid]
+            was_open = breaker.state is BreakerState.OPEN
+            if not breaker.allow(now):
+                continue
+            if breaker.state is BreakerState.HALF_OPEN:
+                if was_open:
+                    # Entering half-open: the quarantine window is when
+                    # maintenance runs — one repair sweep per window.
+                    self._probe_repair(worker)
+                if wid in self._half_open_probed:
+                    continue  # one probe at a time
+                size = 1  # risk one request on an unproven worker
+                self._half_open_probed.add(wid)
+            else:
+                if not self.batcher.should_dispatch(
+                    self.queue, now, self._next_refill_s(),
+                    worker.service_time_s,
+                ):
+                    continue
+                size = self.batcher.size_batch(self.queue)
+            batch = tuple(self.queue.pop_batch(size))
+            service = worker.service_time_s(len(batch))
+            finish = now + service
+            self._busy_until[wid] = finish
+            self._event_seq += 1
+            heapq.heappush(
+                self._completions,
+                (finish, self._event_seq, wid, batch, now),
+            )
+            self._decide(
+                "dispatch",
+                worker=wid,
+                requests=[r.request_id for r in batch],
+                batch=len(batch),
+                probe=breaker.state is BreakerState.HALF_OPEN,
+            )
+            _metric_histogram(
+                "repro_serve_batch_occupancy",
+                "Dispatched micro-batch size / max_batch",
+                buckets=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+            ).observe(len(batch) / self.config.max_batch)
+            _metric_gauge(
+                "repro_serve_queue_depth", "Admission-queue depth"
+            ).set_at(len(self.queue), now)
+
+    def _probe_repair(self, worker: AcceleratorWorker) -> None:
+        """Half-open maintenance: try to repair before risking a probe."""
+        restored = worker.repair()
+        self._decide(
+            "repair",
+            worker=worker.worker_id,
+            restored=restored,
+            health=worker.unconverged_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _execute(self, worker: AcceleratorWorker, batch: tuple):
+        xs = np.stack([r.x for r in batch])
+        with _trace_span(
+            "serve_batch",
+            accelerator=worker.acc,
+            worker=worker.worker_id,
+            batch=len(batch),
+        ):
+            return worker.execute(xs)
+
+    def _process_completion(
+        self, worker: AcceleratorWorker, batch: tuple, dispatch_s: float,
+        outcome,
+    ) -> None:
+        now = self.clock.now()
+        wid = worker.worker_id
+        self._busy_until[wid] = None
+        breaker = self.breakers[wid]
+        was_probe = breaker.state is BreakerState.HALF_OPEN
+        if was_probe:
+            self._half_open_probed.discard(wid)
+        if isinstance(outcome, WorkerFault):
+            breaker.record_failure(now)
+            self._decide(
+                "batch_failed",
+                worker=wid,
+                requests=[r.request_id for r in batch],
+                error=str(outcome),
+            )
+            for request in batch:
+                self._maybe_retry(request)
+            return
+        # Health-signal trip: even a nominally successful batch does not
+        # keep a worker whose readback says it is degrading in rotation.
+        if not worker.healthy:
+            breaker.trip(now, "health_signal")
+        else:
+            breaker.record_success(now)
+        latency_histogram = _metric_histogram(
+            "repro_serve_latency_seconds",
+            "Arrival-to-completion latency of served requests",
+            buckets=LATENCY_BUCKETS,
+        )
+        for request, output in zip(batch, outcome):
+            attempts = self._attempts.get(request.request_id, 0) + 1
+            completion = CompletedRequest(
+                request=request,
+                output=np.asarray(output),
+                worker_id=wid,
+                dispatch_s=dispatch_s,
+                finish_s=now,
+                attempts=attempts,
+            )
+            self.completed.append(completion)
+            latency_histogram.observe(completion.latency_s)
+        _metric_counter("repro_requests_completed_total").inc(len(batch))
+        self._decide(
+            "complete",
+            worker=wid,
+            requests=[r.request_id for r in batch],
+            batch=len(batch),
+        )
+
+    def _maybe_retry(self, request: InferenceRequest) -> None:
+        now = self.clock.now()
+        attempts = self._attempts.get(request.request_id, 0) + 1
+        self._attempts[request.request_id] = attempts
+        if attempts > self.config.max_retries:
+            self._record_shed(
+                request,
+                ShedReason.RETRIES_EXHAUSTED,
+                f"failed {attempts} attempt(s)",
+            )
+            return
+        delay = (
+            self.config.retry_backoff_s
+            * self.config.retry_backoff_factor ** (attempts - 1)
+            + self.config.retry_jitter_s * float(self.rng.random())
+        )
+        release = now + delay
+        if request.deadline_s is not None and release > request.deadline_s:
+            self._record_shed(
+                request,
+                ShedReason.DEADLINE_EXPIRED,
+                "retry backoff lands past deadline",
+            )
+            return
+        self._event_seq += 1
+        heapq.heappush(self._retries, (release, self._event_seq, request))
+        self.retries_scheduled += 1
+        self._decide(
+            "retry",
+            request=request.request_id,
+            attempt=attempts,
+            release=release,
+        )
+        _metric_counter("repro_requests_retried_total").inc()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def schedule_action(self, t_s: float, name: str, fn) -> None:
+        """Register a world-changing callback (e.g. forced degradation).
+
+        ``fn(server)`` runs at virtual time ``t_s``, after completions at
+        that instant are processed and before new dispatches.
+        """
+        self._actions.append((float(t_s), len(self._actions), name, fn))
+        self._actions.sort(key=lambda a: (a[0], a[1]))
+
+    def _next_event(self) -> tuple[float, int] | None:
+        """(time, category) of the earliest pending event, if any."""
+        best: tuple[float, int] | None = None
+        if self._completions:
+            best = (self._completions[0][0], _COMPLETION)
+        if self._action_index < len(self._actions):
+            t = self._actions[self._action_index][0]
+            if best is None or (t, _ACTION) < best:
+                best = (t, _ACTION)
+        if self._retries:
+            t = self._retries[0][0]
+            if best is None or (t, _RETRY) < best:
+                best = (t, _RETRY)
+        if self._arrival_index < len(self._arrivals):
+            t = self._arrivals[self._arrival_index].arrival_s
+            if best is None or (t, _ARRIVAL) < best:
+                best = (t, _ARRIVAL)
+        return best
+
+    def _pop_due_completions(self, t: float) -> list[tuple]:
+        due = []
+        while self._completions and self._completions[0][0] == t:
+            due.append(heapq.heappop(self._completions))
+        return due
+
+    def _run_completions(self, due: list[tuple]) -> None:
+        """Execute and settle a set of same-instant batch completions.
+
+        Execution (the numpy work) happens first — serially or on the
+        thread pool — then outcomes settle in event order, so threading
+        changes neither the decision log nor any output.
+        """
+        worker_by_id = {w.worker_id: w for w in self.workers}
+        jobs = []
+        for _, seq, wid, batch, dispatch_s in due:
+            jobs.append((seq, worker_by_id[wid], batch, dispatch_s))
+
+        def run(job):
+            _, worker, batch, _ = job
+            try:
+                return self._execute(worker, batch)
+            except WorkerFault as fault:
+                return fault
+
+        if self._pool is not None and len(jobs) > 1:
+            outcomes = list(self._pool.map(run, jobs))
+        else:
+            outcomes = [run(job) for job in jobs]
+        for job, outcome in zip(jobs, outcomes):
+            _, worker, batch, dispatch_s = job
+            self._process_completion(worker, batch, dispatch_s, outcome)
+
+    def run(self, arrivals) -> ServeReport:
+        """Serve a pre-declared arrival schedule until fully drained."""
+        self._arrivals = sorted(
+            arrivals, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        ids = [r.request_id for r in self._arrivals]
+        if len(set(ids)) != len(ids):
+            raise ServingError("request ids must be unique")
+        self._arrival_index = 0
+        submitted = len(self._arrivals)
+        admitted_ids: set[int] = set()
+
+        pool = (
+            ThreadPoolExecutor(
+                max_workers=self.config.executor_threads,
+                thread_name_prefix="repro-serve",
+            )
+            if self.config.executor_threads > 0
+            else None
+        )
+        self._pool = pool
+        try:
+            with _trace_span("serve", requests=submitted):
+                while True:
+                    event = self._next_event()
+                    if event is None:
+                        if len(self.queue) == 0:
+                            break
+                        # Queue is non-empty but no events remain: the only
+                        # way forward is an OPEN breaker becoming probeable.
+                        probes = [
+                            b.next_probe_s()
+                            for b in self.breakers.values()
+                            if b.next_probe_s() is not None
+                        ]
+                        if not probes:
+                            for request in self.queue.pop_batch(len(self.queue)):
+                                self._record_shed(
+                                    request,
+                                    ShedReason.NO_WORKER,
+                                    "all workers quarantined at drain",
+                                )
+                            break
+                        self.clock.advance_to(
+                            max(self.clock.now(), min(probes))
+                        )
+                        self._dispatch_all()
+                        continue
+                    t, category = event
+                    self.clock.advance_to(max(self.clock.now(), t))
+                    if category == _COMPLETION:
+                        self._run_completions(self._pop_due_completions(t))
+                    elif category == _ACTION:
+                        _, _, name, fn = self._actions[self._action_index]
+                        self._action_index += 1
+                        self._decide("action", name=name)
+                        fn(self)
+                    elif category == _RETRY:
+                        _, _, request = heapq.heappop(self._retries)
+                        self._admit(request, is_retry=True)
+                        if request.request_id not in {
+                            r.request.request_id for r in self.shed
+                        }:
+                            admitted_ids.add(request.request_id)
+                    else:  # _ARRIVAL
+                        request = self._arrivals[self._arrival_index]
+                        self._arrival_index += 1
+                        before = len(self.shed)
+                        self._admit(request, is_retry=False)
+                        if len(self.shed) == before or (
+                            self.shed[-1].request.request_id
+                            != request.request_id
+                        ):
+                            admitted_ids.add(request.request_id)
+                    self._dispatch_all()
+        finally:
+            self._pool = None
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        report = ServeReport(
+            submitted=submitted,
+            completed=list(self.completed),
+            shed=list(self.shed),
+            decisions=list(self.decisions),
+            breaker_transitions=list(self.breaker_transitions),
+            retries_scheduled=self.retries_scheduled,
+            slo_latency_s=self.config.slo_latency_s,
+            admitted_ids=admitted_ids,
+        )
+        if not report.conservation_ok():
+            raise ServingError(
+                "request conservation violated: "
+                f"{submitted} submitted, {len(report.completed)} completed, "
+                f"{len(report.shed)} shed"
+            )
+        return report

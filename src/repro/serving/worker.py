@@ -1,0 +1,180 @@
+"""The serving-side wrapper around one functional accelerator.
+
+An :class:`AcceleratorWorker` owns a mapped, programmed
+:class:`~repro.arch.TridentAccelerator` plus (optionally) the
+:class:`~repro.faults.FaultManager` that repairs it.  It contributes
+three things to the server:
+
+- **Service time** — the dataflow cost model's per-batch latency
+  estimate (:func:`repro.dataflow.cost_model.forward_batch_latency_s`),
+  which both the micro-batcher and admission control price against.
+- **Health** — the worst ``unconverged_fraction`` across its banks (the
+  program-verify readback signal PR 2 introduced) plus the repair log's
+  degradation count.  Health gates execution: a degraded worker *fails*
+  batches rather than silently serving garbage.
+- **Execution** — ``forward_batch`` on the real functional engine, so
+  served outputs carry the full quantization/noise/fault physics and
+  event accounting of any other forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.cost_model import PhotonicArch, forward_batch_latency_s
+from repro.errors import ServingError, WorkerFault
+from repro.telemetry.log import get_logger
+
+_log = get_logger("repro.serving.worker")
+
+
+class AcceleratorWorker:
+    """One dispatchable accelerator behind the serving layer."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        accelerator,
+        manager=None,
+        unhealthy_threshold: float = 0.02,
+        dispatch_overhead_s: float = 1e-6,
+    ) -> None:
+        if not accelerator.layers:
+            raise ServingError(
+                f"worker {worker_id}: map and program a network before serving"
+            )
+        if any(layer.weights is None for layer in accelerator.layers):
+            raise ServingError(
+                f"worker {worker_id}: all layers need programmed weights"
+            )
+        if not 0.0 < unhealthy_threshold <= 1.0:
+            raise ServingError(
+                f"unhealthy threshold must be in (0, 1], got {unhealthy_threshold}"
+            )
+        if dispatch_overhead_s < 0:
+            raise ServingError("dispatch overhead must be non-negative")
+        self.worker_id = int(worker_id)
+        self.acc = accelerator
+        self.manager = manager
+        self.unhealthy_threshold = float(unhealthy_threshold)
+        self.dispatch_overhead_s = float(dispatch_overhead_s)
+        self.arch = PhotonicArch.trident(accelerator.config)
+        cols = accelerator.config.bank_cols
+        #: Per-layer column (reduction) tile counts for the latency model.
+        self.layer_reduction_tiles = tuple(
+            -(-layer.in_dim // cols) for layer in accelerator.layers
+        )
+        self.batches_executed = 0
+        self.batches_failed = 0
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def service_time_s(self, batch_size: int) -> float:
+        """Cost-model latency for one batch of ``batch_size`` samples."""
+        return forward_batch_latency_s(
+            self.arch,
+            self.layer_reduction_tiles,
+            batch_size,
+            overhead_s=self.dispatch_overhead_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    @property
+    def unconverged_fraction(self) -> float:
+        """Worst program-verify non-convergence across *active* banks.
+
+        Only PEs currently backing a mapped tile count: a migrate-tier
+        repair abandons a worn PE in place, and its stale readback must
+        not keep condemning a worker that no longer uses it.
+        """
+        active = {
+            tile[4] for layer in self.acc.layers for tile in layer.tiles
+        }
+        fractions = [
+            self.acc.pes[index].bank.unconverged_fraction for index in active
+        ]
+        return max(fractions, default=0.0)
+
+    @property
+    def healthy(self) -> bool:
+        """True while the health signal is within the serving threshold."""
+        return self.unconverged_fraction <= self.unhealthy_threshold
+
+    def health(self) -> dict:
+        """Structured health snapshot (for reports and breaker decisions)."""
+        return {
+            "worker": self.worker_id,
+            "unconverged_fraction": self.unconverged_fraction,
+            "healthy": self.healthy,
+            "tiles_unrepaired": (
+                self.manager.log.tiles_unrepaired if self.manager else 0
+            ),
+            "batches_executed": self.batches_executed,
+            "batches_failed": self.batches_failed,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, xs: np.ndarray) -> np.ndarray:
+        """Run one micro-batch; raises :class:`WorkerFault` when degraded.
+
+        The health gate comes first: a worker whose banks report
+        above-threshold non-convergence fails the batch outright (its
+        outputs could not be trusted), handing the requests back to the
+        server for retry elsewhere or shedding.
+        """
+        if not self.healthy:
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} degraded: unconverged fraction "
+                f"{self.unconverged_fraction:.3f} > "
+                f"{self.unhealthy_threshold:.3f}"
+            )
+        outputs = self.acc.forward_batch(xs)
+        self.batches_executed += 1
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Degradation / repair (the breaker's collaborators)
+    # ------------------------------------------------------------------
+    def degrade(self, fraction: float, stuck_level: int | None = None) -> int:
+        """Inject stuck faults and refresh readback so health reflects them.
+
+        Models a mid-run wear event.  The post-injection reprogram is
+        what updates each bank's verify readback (and therefore
+        ``unconverged_fraction``) — without program-verify enabled the
+        damage stays invisible and the worker keeps serving degraded.
+        Returns the number of newly stuck cells.
+        """
+        stuck = self.acc.inject_stuck_faults(fraction, stuck_level=stuck_level)
+        if self.acc.verify_writer is not None:
+            for layer in self.acc.layers:
+                for tile_index in range(len(layer.tiles)):
+                    self.acc.reprogram_tile(layer.index, tile_index)
+        _log.warning(
+            "worker %d degraded: %d stuck cells injected (health %.3f)",
+            self.worker_id, stuck, self.unconverged_fraction,
+        )
+        return stuck
+
+    def repair(self) -> bool:
+        """Walk the fault-repair ladder; True when health is restored.
+
+        Called by the server when a breaker goes half-open — the
+        quarantine window is when maintenance runs.  Without a
+        :class:`~repro.faults.FaultManager` the worker cannot self-heal.
+        """
+        if self.manager is None:
+            return self.healthy
+        self.manager.repair()
+        _log.info(
+            "worker %d repair sweep done: health %.3f (%s)",
+            self.worker_id,
+            self.unconverged_fraction,
+            "restored" if self.healthy else "still degraded",
+        )
+        return self.healthy

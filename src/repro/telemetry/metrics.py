@@ -12,6 +12,13 @@ Histograms use *fixed* bucket bounds chosen at creation (cumulative
 ``le`` semantics, ``+Inf`` implicit), so two runs observing the same
 values render byte-identical dumps.
 
+Lock granularity: the registry lock covers *lookup/creation only*.
+Updates (``inc``/``set``/``observe``) take the instrument's own lock —
+a few-instruction critical section with no cross-instrument contention —
+so serving worker threads hammering disjoint instruments never serialize
+against each other, and read-modify-write updates (counter adds,
+histogram sum/count/bucket triples) stay atomic under concurrency.
+
 :func:`parse_prometheus_text` is the self-check half: the CI smoke gate
 parses every dump it emits, so a formatting regression fails loudly.
 """
@@ -74,47 +81,82 @@ class Counter:
     """Monotonically increasing value."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "help", "value")
+    __slots__ = ("name", "labels", "help", "value", "_lock")
 
     def __init__(self, name: str, labels: tuple, help: str) -> None:
         self.name = name
         self.labels = labels
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ConfigError(f"counter {self.name} cannot decrease ({amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+
+#: Timed gauge samples kept per instrument (oldest dropped beyond this).
+GAUGE_SAMPLE_LIMIT = 4096
 
 
 class Gauge:
-    """Last-write-wins value."""
+    """Last-write-wins value, optionally carrying timed samples.
+
+    :meth:`set_at` records ``(t_s, value)`` pairs alongside the live
+    value (bounded at :data:`GAUGE_SAMPLE_LIMIT`, oldest dropped), which
+    is how live power-trace streaming lands in the metrics registry: the
+    Prometheus export shows the latest value, the JSON export carries
+    the whole sampled series.
+    """
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "help", "value")
+    __slots__ = ("name", "labels", "help", "value", "_samples", "_lock")
 
     def __init__(self, name: str, labels: tuple, help: str) -> None:
         self.name = name
         self.labels = labels
         self.help = help
         self.value = 0.0
+        self._samples: list[tuple[float, float]] = []
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the gauge by ``amount`` (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    def set_at(self, value: float, t_s: float) -> None:
+        """Set the value and record a ``(t_s, value)`` timed sample."""
+        value, t_s = float(value), float(t_s)
+        with self._lock:
+            self.value = value
+            self._samples.append((t_s, value))
+            if len(self._samples) > GAUGE_SAMPLE_LIMIT:
+                del self._samples[: len(self._samples) - GAUGE_SAMPLE_LIMIT]
+
+    def samples(self) -> tuple[tuple[float, float], ...]:
+        """Timed ``(t_s, value)`` samples recorded via :meth:`set_at`."""
+        with self._lock:
+            return tuple(self._samples)
 
 
 class Histogram:
     """Fixed-bucket distribution (cumulative ``le`` buckets + sum/count)."""
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "help", "bounds", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "name", "labels", "help", "bounds", "bucket_counts", "sum", "count",
+        "_lock",
+    )
 
     def __init__(
         self, name: str, labels: tuple, help: str, buckets=DEFAULT_BUCKETS
@@ -131,18 +173,31 @@ class Histogram:
         self.bucket_counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         value = float(value)
-        self.sum += value
-        self.count += 1
-        # Per-bucket (non-cumulative) storage; the Prometheus exporter
-        # accumulates into the format's cumulative ``le`` semantics.
+        # Bucket search happens outside the lock (bounds are immutable);
+        # the sum/count/bucket triple updates atomically inside it so a
+        # concurrent export never sees a torn sample.
+        index = None
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.bucket_counts[i] += 1
+                index = i
                 break
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            # Per-bucket (non-cumulative) storage; the Prometheus exporter
+            # accumulates into the format's cumulative ``le`` semantics.
+            if index is not None:
+                self.bucket_counts[index] += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """Consistent ``(bucket_counts, sum, count)`` under the lock."""
+        with self._lock:
+            return list(self.bucket_counts), self.sum, self.count
 
 
 class _NullInstrument:
@@ -154,6 +209,9 @@ class _NullInstrument:
         pass
 
     def set(self, value: float) -> None:
+        pass
+
+    def set_at(self, value: float, t_s: float) -> None:
         pass
 
     def observe(self, value: float) -> None:
@@ -221,8 +279,9 @@ class MetricsRegistry:
             for inst in family:
                 labels = _format_labels(inst.labels)
                 if isinstance(inst, Histogram):
+                    bucket_counts, total_sum, total_count = inst.snapshot()
                     cumulative = 0
-                    for bound, count in zip(inst.bounds, inst.bucket_counts):
+                    for bound, count in zip(inst.bounds, bucket_counts):
                         cumulative += count
                         le = dict(inst.labels)
                         le["le"] = _format_value(bound)
@@ -234,10 +293,10 @@ class MetricsRegistry:
                     le["le"] = "+Inf"
                     lines.append(
                         f"{name}_bucket{_format_labels(_check_labels(le))} "
-                        f"{inst.count}"
+                        f"{total_count}"
                     )
-                    lines.append(f"{name}_sum{labels} {_format_value(inst.sum)}")
-                    lines.append(f"{name}_count{labels} {inst.count}")
+                    lines.append(f"{name}_sum{labels} {_format_value(total_sum)}")
+                    lines.append(f"{name}_count{labels} {total_count}")
                 else:
                     lines.append(f"{name}{labels} {_format_value(inst.value)}")
         return "\n".join(lines) + "\n"
@@ -253,12 +312,17 @@ class MetricsRegistry:
                 "help": inst.help,
             }
             if isinstance(inst, Histogram):
+                bucket_counts, total_sum, total_count = inst.snapshot()
                 record["buckets"] = list(inst.bounds)
-                record["bucket_counts"] = list(inst.bucket_counts)
-                record["sum"] = inst.sum
-                record["count"] = inst.count
+                record["bucket_counts"] = bucket_counts
+                record["sum"] = total_sum
+                record["count"] = total_count
             else:
                 record["value"] = inst.value
+                if isinstance(inst, Gauge):
+                    samples = inst.samples()
+                    if samples:
+                        record["samples"] = [[t, v] for t, v in samples]
             out.append(record)
         return {"metrics": out}
 

@@ -31,7 +31,12 @@ import contextlib
 import threading
 
 from repro.telemetry.events import EventLog, NullEventLog
-from repro.telemetry.metrics import MetricsRegistry, NullMetrics, NULL_INSTRUMENT
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_INSTRUMENT,
+)
 from repro.telemetry.tracer import NullTracer, Tracer, NULL_SPAN
 
 #: Counters every session exposes from step zero, so dumps are complete
@@ -46,10 +51,32 @@ WELL_KNOWN_COUNTERS = (
     ("repro_repairs_total", "Successful repairs by ladder tier"),
     ("repro_tiles_unrepaired_total", "Tiles left degraded after the ladder"),
     ("repro_campaign_cells_total", "Fault-campaign sweep cells executed"),
+    ("repro_requests_admitted_total", "Serving requests admitted to the queue"),
+    ("repro_requests_completed_total", "Serving requests completed"),
+    ("repro_requests_shed_total", "Serving requests shed, by reason"),
+    ("repro_requests_retried_total", "Serving request retry attempts"),
+    (
+        "repro_breaker_transitions_total",
+        "Serving circuit-breaker transitions, by target state",
+    ),
 )
 
 #: Repair-ladder tiers pre-registered on ``repro_repairs_total``.
 REPAIR_TIERS = ("retry", "spare", "migrate")
+
+#: Shed reasons pre-registered on ``repro_requests_shed_total`` (the
+#: serving layer's :class:`~repro.serving.ShedReason` values).
+SHED_REASONS = (
+    "queue_full",
+    "priority_evicted",
+    "deadline_unreachable",
+    "deadline_expired",
+    "retries_exhausted",
+    "no_worker",
+)
+
+#: Breaker states pre-registered on ``repro_breaker_transitions_total``.
+BREAKER_STATES = ("open", "half_open", "closed")
 
 
 class TelemetrySession:
@@ -63,6 +90,12 @@ class TelemetrySession:
             if name == "repro_repairs_total":
                 for tier in REPAIR_TIERS:
                     self.metrics.counter(name, help_text, tier=tier)
+            elif name == "repro_requests_shed_total":
+                for reason in SHED_REASONS:
+                    self.metrics.counter(name, help_text, reason=reason)
+            elif name == "repro_breaker_transitions_total":
+                for state in BREAKER_STATES:
+                    self.metrics.counter(name, help_text, to=state)
             else:
                 self.metrics.counter(name, help_text)
 
@@ -143,12 +176,12 @@ def gauge(name: str, help: str = "", **labels):
     return s.metrics.gauge(name, help, **labels)
 
 
-def histogram(name: str, help: str = "", **labels):
+def histogram(name: str, help: str = "", buckets=DEFAULT_BUCKETS, **labels):
     """Histogram on the active registry, or the shared no-op instrument."""
     s = _active
     if s is None:
         return NULL_INSTRUMENT
-    return s.metrics.histogram(name, help, **labels)
+    return s.metrics.histogram(name, help, buckets=buckets, **labels)
 
 
 def emit_event(kind: str, **fields):

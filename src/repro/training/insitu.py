@@ -45,8 +45,10 @@ from repro.arch.accelerator import TridentAccelerator
 from repro.arch.control import OperatingMode, RangeNormalizer
 from repro.errors import MappingError, ShapeError
 from repro.nn.reference import cross_entropy_loss
+from repro.telemetry.metrics import NULL_INSTRUMENT
 from repro.telemetry.session import (
     counter as _metric_counter,
+    gauge as _metric_gauge,
     histogram as _metric_histogram,
     trace_span as _trace_span,
 )
@@ -247,6 +249,15 @@ class InSituTrainer:
             raise ShapeError("batch and labels must have matching lengths")
         layers = self.acc.layers
         batch = x_batch.shape[0]
+        # Live power streaming: the step's write + streaming window lands
+        # as one timed sample on the shared power gauge (see
+        # forward_batch); skipped when telemetry is off.
+        power_gauge = _metric_gauge(
+            "repro_power_draw_w", "Chip power draw over hardware time [W]"
+        )
+        if power_gauge is not NULL_INSTRUMENT:
+            energy_before = self.acc.energy_estimate_j()
+            time_before = self.acc.time_estimate_s()
         with _trace_span("train_step", accelerator=self.acc, batch=batch):
             logits = self.acc.forward_batch(x_batch, record=True)
             loss, grad = cross_entropy_loss(logits, labels)
@@ -266,6 +277,13 @@ class InSituTrainer:
                 self.acc.counters.mode_switches += 1
         _metric_counter("repro_train_steps_total").inc()
         _metric_histogram("repro_train_loss").observe(loss)
+        if power_gauge is not NULL_INSTRUMENT:
+            time_after = self.acc.time_estimate_s()
+            if time_after > time_before:
+                mean_power_w = (
+                    self.acc.energy_estimate_j() - energy_before
+                ) / (time_after - time_before)
+                power_gauge.set_at(mean_power_w, time_after)
         return loss
 
     def train_step_streaming(self, x_batch: np.ndarray, labels: np.ndarray) -> float:

@@ -183,3 +183,95 @@ class TestExport:
         target.write_text("not a dir")
         with pytest.raises(ConfigError):
             export_all(target)
+
+
+class TestServeCommand:
+    def test_smoke_gate_passes(self, run, tmp_path, capsys):
+        code, out = run(
+            "serve", "--smoke", "--out", str(tmp_path / "serve.trace.json")
+        )
+        assert code == 0
+        assert "serving summary" in out
+        assert "FAIL" not in out
+        for check in (
+            "request conservation",
+            "breaker tripped on degradation",
+            "breaker restored via half-open probe",
+            "replay is bit-identical",
+            "chrome trace schema valid",
+            "serving + power metrics exposed",
+        ):
+            assert check in out, check
+        assert (tmp_path / "serve.trace.json").exists()
+        assert (tmp_path / "serve.metrics.prom").exists()
+        assert (tmp_path / "serve.events.jsonl").exists()
+
+    def test_no_active_session_leaks_after_serve(self, run, tmp_path):
+        from repro import telemetry
+
+        run("serve", "--smoke", "--out", str(tmp_path / "t.trace.json"))
+        assert not telemetry.enabled()
+
+
+class TestErrorHygiene:
+    """Domain errors exit 2 with one structured line, never a traceback."""
+
+    def _run(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_bad_serving_config_exits_2_with_one_line(self, capsys):
+        code, out, err = self._run(capsys, "serve", "--dims", "5")
+        assert code == 2
+        assert err.startswith("repro: error: ServingError:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err + out
+
+    def test_fault_error_exits_2(self, capsys, monkeypatch):
+        import argparse
+
+        from repro import cli
+        from repro.errors import FaultError
+
+        def boom(args):
+            raise FaultError("bank 3 beyond repair")
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("-v", "--verbose", action="count", default=0)
+        parser.add_argument("--debug", action="store_true")
+        parser.set_defaults(func=boom, command="boom")
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        code, _, err = self._run(capsys)
+        assert code == 2
+        assert err == "repro: error: FaultError: bank 3 beyond repair\n"
+
+    def test_repair_error_exits_2(self, capsys, monkeypatch):
+        import argparse
+
+        from repro import cli
+        from repro.errors import RepairError
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("-v", "--verbose", action="count", default=0)
+        parser.add_argument("--debug", action="store_true")
+        parser.set_defaults(
+            func=lambda args: (_ for _ in ()).throw(
+                RepairError("spare pool exhausted")
+            ),
+            command="boom",
+        )
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        code, _, err = self._run(capsys)
+        assert code == 2
+        assert "RepairError: spare pool exhausted" in err
+
+    def test_corrupt_checkpoint_reports_invalid_not_traceback(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json at all")
+        code, out, err = self._run(capsys, "checkpoint", str(path))
+        assert code == 1
+        assert "Traceback" not in err + out
+        assert "False" in out  # valid  False

@@ -1,0 +1,450 @@
+"""Tests for the fault-aware serving layer (repro.serving)."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ServingError, WorkerFault
+from repro.runtime import VirtualClock
+from repro.serving import (
+    AcceleratorWorker,
+    AdmissionQueue,
+    BreakerState,
+    CircuitBreaker,
+    CompletedRequest,
+    InferenceRequest,
+    MicroBatcher,
+    Phase,
+    RejectedRequest,
+    ServerConfig,
+    ShedReason,
+    TridentServer,
+    WorkloadConfig,
+    build_worker,
+    run_serve_workload,
+    shed_rate_by_priority,
+    smoke_checks,
+    sustainable_rate_hz,
+    synthesize_arrivals,
+)
+
+
+def req(rid, arrival=0.0, deadline=None, priority=0, n_in=4):
+    return InferenceRequest(
+        request_id=rid,
+        x=np.zeros(n_in),
+        arrival_s=arrival,
+        deadline_s=deadline,
+        priority=priority,
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_rejects_rewind(self):
+        clock = VirtualClock(start_s=1.0)
+        with pytest.raises(ServingError):
+            clock.advance(-0.1)
+        with pytest.raises(ServingError):
+            clock.advance_to(0.5)
+
+
+# ---------------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_pops_in_priority_then_fifo_order(self):
+        q = AdmissionQueue(max_depth=8)
+        for r in (req(0, 0.0, priority=0), req(1, 1.0, priority=2),
+                  req(2, 2.0, priority=1), req(3, 3.0, priority=2)):
+            q.push(r)
+        assert [r.request_id for r in q.pop_batch(4)] == [1, 3, 2, 0]
+
+    def test_offer_refuses_equal_priority_when_full(self):
+        q = AdmissionQueue(max_depth=2)
+        q.push(req(0, 0.0))
+        q.push(req(1, 1.0))
+        admitted, evicted = q.offer(req(2, 2.0))
+        assert not admitted and evicted is None
+        assert len(q) == 2
+
+    def test_offer_evicts_youngest_of_lowest_tier(self):
+        q = AdmissionQueue(max_depth=3)
+        q.push(req(0, 0.0, priority=0))
+        q.push(req(1, 1.0, priority=0))
+        q.push(req(2, 2.0, priority=1))
+        admitted, evicted = q.offer(req(3, 3.0, priority=2))
+        assert admitted
+        assert evicted.request_id == 1  # youngest priority-0 resident
+        assert {r.request_id for r in q.snapshot()} == {0, 2, 3}
+
+    def test_push_beyond_bound_raises(self):
+        q = AdmissionQueue(max_depth=1)
+        q.push(req(0))
+        with pytest.raises(ServingError):
+            q.push(req(1))
+
+    def test_drop_hopeless_removes_only_expired(self):
+        q = AdmissionQueue(max_depth=4)
+        q.push(req(0, 0.0, deadline=1.0))    # hopeless at t=2
+        q.push(req(1, 0.0, deadline=5.0))    # fine
+        q.push(req(2, 0.0, deadline=None))   # best-effort: never hopeless
+        dropped = q.drop_hopeless(now_s=2.0, min_service_s=0.5)
+        assert [r.request_id for r in dropped] == [0]
+        assert len(q) == 2
+
+
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def service(self, batch):
+        return 1e-6 + batch * 1e-7
+
+    def test_full_batch_dispatches(self):
+        b = MicroBatcher(max_batch=2, slo_latency_s=1e-5)
+        q = AdmissionQueue(8)
+        q.push(req(0, 0.0))
+        q.push(req(1, 0.0))
+        assert b.should_dispatch(q, 0.0, next_refill_s=1e-9,
+                                 service_time_fn=self.service)
+
+    def test_no_refill_dispatches(self):
+        b = MicroBatcher(max_batch=4, slo_latency_s=1e-5)
+        q = AdmissionQueue(8)
+        q.push(req(0, 0.0))
+        assert b.should_dispatch(q, 0.0, None, self.service)
+
+    def test_waits_to_coalesce_inside_budget(self):
+        b = MicroBatcher(max_batch=4, slo_latency_s=1e-4)
+        q = AdmissionQueue(8)
+        q.push(req(0, 0.0))
+        # Refill almost immediately, budget huge: wait for a fuller batch.
+        assert not b.should_dispatch(q, 0.0, 1e-8, self.service)
+
+    def test_dispatches_when_waiting_busts_budget(self):
+        b = MicroBatcher(max_batch=4, slo_latency_s=1e-6)
+        q = AdmissionQueue(8)
+        q.push(req(0, 0.0, deadline=1.5e-6))
+        # Refill so late that coalescing would land past the deadline.
+        assert b.should_dispatch(q, 0.0, 1e-6, self.service)
+
+    def test_empty_queue_never_dispatches(self):
+        b = MicroBatcher(max_batch=4, slo_latency_s=1e-5)
+        assert not b.should_dispatch(AdmissionQueue(8), 0.0, None, self.service)
+
+
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, **kw):
+        self.transitions = []
+        kw.setdefault("failure_threshold", 2)
+        kw.setdefault("cooldown_s", 1.0)
+        return CircuitBreaker(
+            0, on_transition=lambda *a: self.transitions.append(a), **kw
+        )
+
+    def test_opens_at_failure_threshold(self):
+        b = self.make()
+        b.record_failure(0.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(0.1)
+        assert b.state is BreakerState.OPEN
+        assert self.transitions[-1][3] is BreakerState.OPEN
+
+    def test_success_resets_failure_count(self):
+        b = self.make()
+        b.record_failure(0.0)
+        b.record_success(0.1)
+        b.record_failure(0.2)
+        assert b.state is BreakerState.CLOSED
+
+    def test_cooldown_then_half_open_then_close(self):
+        b = self.make()
+        b.trip(0.0, "health_signal")
+        assert not b.allow(0.5)
+        assert b.allow(1.0)  # cooldown elapsed -> half-open probe
+        assert b.state is BreakerState.HALF_OPEN
+        b.record_success(1.1)
+        assert b.state is BreakerState.CLOSED
+        reasons = [t[4] for t in self.transitions]
+        assert reasons == ["health_signal", "cooldown_elapsed", "probe_succeeded"]
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        b = self.make()
+        b.trip(0.0, "health_signal")
+        assert b.allow(1.0)
+        b.record_failure(1.2)
+        assert b.state is BreakerState.OPEN
+        assert b.next_probe_s() == pytest.approx(2.2)
+
+    def test_validates_config(self):
+        with pytest.raises(ServingError):
+            CircuitBreaker(0, failure_threshold=0)
+        with pytest.raises(ServingError):
+            CircuitBreaker(0, cooldown_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_dims():
+    return (6, 4)
+
+
+def make_worker(worker_id=0, dims=(6, 4), seed=3):
+    return build_worker(worker_id, dims, seed)
+
+
+class TestAcceleratorWorker:
+    def test_requires_programmed_network(self):
+        from repro.arch import TridentAccelerator
+
+        with pytest.raises(ServingError):
+            AcceleratorWorker(0, TridentAccelerator())
+
+    def test_service_time_grows_with_batch(self, tiny_dims):
+        worker = make_worker(dims=tiny_dims)
+        t1, t8 = worker.service_time_s(1), worker.service_time_s(8)
+        assert 0 < t1 < t8
+
+    def test_execute_returns_batch_outputs(self, tiny_dims):
+        worker = make_worker(dims=tiny_dims)
+        out = worker.execute(np.zeros((3, tiny_dims[0])))
+        assert out.shape == (3, tiny_dims[-1])
+        assert worker.batches_executed == 1
+
+    def test_degraded_worker_fails_instead_of_serving_garbage(self, tiny_dims):
+        worker = make_worker(dims=tiny_dims)
+        worker.degrade(0.3, stuck_level=254)
+        assert not worker.healthy
+        with pytest.raises(WorkerFault):
+            worker.execute(np.zeros((2, tiny_dims[0])))
+        assert worker.batches_failed == 1
+
+    def test_repair_restores_health(self, tiny_dims):
+        worker = make_worker(dims=tiny_dims)
+        worker.degrade(0.2, stuck_level=254)
+        assert not worker.healthy
+        assert worker.repair()
+        assert worker.healthy
+        # Post-migration the abandoned PE's stale readback must not count.
+        assert worker.unconverged_fraction == 0.0
+        out = worker.execute(np.zeros((2, tiny_dims[0])))
+        assert out.shape == (2, tiny_dims[-1])
+
+    def test_health_snapshot_keys(self, tiny_dims):
+        health = make_worker(dims=tiny_dims).health()
+        assert set(health) >= {
+            "worker", "unconverged_fraction", "healthy", "tiles_unrepaired",
+        }
+
+
+# ---------------------------------------------------------------------------
+class TestTridentServer:
+    def serve(self, arrivals, n_workers=1, dims=(6, 4), **config_kw):
+        workers = [make_worker(i, dims, seed=3 + i) for i in range(n_workers)]
+        config_kw.setdefault("max_queue_depth", 8)
+        config_kw.setdefault("max_batch", 4)
+        config_kw.setdefault("slo_latency_s", 1e-4)
+        server = TridentServer(workers, config=ServerConfig(**config_kw))
+        return server.run(arrivals), server
+
+    def test_light_load_completes_everything(self):
+        arrivals = [req(i, i * 1e-5, n_in=6) for i in range(6)]
+        report, _ = self.serve(arrivals)
+        assert report.conservation_ok()
+        assert len(report.completed) == 6 and not report.shed
+        assert all(isinstance(c, CompletedRequest) for c in report.completed)
+        assert all(c.latency_s > 0 for c in report.completed)
+
+    def test_outputs_match_request_order_not_dispatch_order(self):
+        arrivals = [
+            req(0, 0.0, priority=0, n_in=6),
+            req(1, 1e-9, priority=2, n_in=6),
+        ]
+        report, _ = self.serve(arrivals)
+        by_id = {c.request.request_id: c for c in report.completed}
+        assert set(by_id) == {0, 1}
+
+    def test_queue_full_sheds_structured_rejection(self):
+        # Best-effort flood far beyond the queue bound, all at t~0.
+        arrivals = [req(i, i * 1e-12, n_in=6) for i in range(30)]
+        report, _ = self.serve(arrivals, max_queue_depth=2, max_batch=2)
+        assert report.conservation_ok()
+        full = [r for r in report.shed if r.reason is ShedReason.QUEUE_FULL]
+        assert full and all(isinstance(r, RejectedRequest) for r in full)
+        assert all(r.detail for r in report.shed)
+
+    def test_priority_eviction_under_overload(self):
+        arrivals = [req(i, i * 1e-12, priority=0, n_in=6) for i in range(6)]
+        arrivals.append(req(6, 7e-12, priority=2, n_in=6))
+        report, _ = self.serve(arrivals, max_queue_depth=2, max_batch=2)
+        evicted = [
+            r for r in report.shed if r.reason is ShedReason.PRIORITY_EVICTED
+        ]
+        assert len(evicted) == 1
+        assert evicted[0].request.priority == 0
+        # The high-priority newcomer itself completes.
+        assert 6 in {c.request.request_id for c in report.completed}
+
+    def test_impossible_deadline_shed_at_admission(self):
+        arrivals = [req(0, 0.0, deadline=1e-12, n_in=6)]
+        report, _ = self.serve(arrivals)
+        assert [r.reason for r in report.shed] == [
+            ShedReason.DEADLINE_UNREACHABLE
+        ]
+
+    def test_unrepairable_worker_exhausts_retries_not_hangs(self):
+        # One worker, no manager: degradation is permanent.
+        worker = make_worker(0, (6, 4), seed=3)
+        worker.manager = None
+        worker.degrade(0.3, stuck_level=254)
+        server = TridentServer(
+            [worker],
+            config=ServerConfig(
+                max_queue_depth=8, max_batch=2, slo_latency_s=1e-4,
+                max_retries=1, breaker_cooldown_s=1e-6,
+            ),
+        )
+        report = server.run([req(i, 0.0, n_in=6) for i in range(3)])
+        assert report.conservation_ok()
+        assert not report.completed
+        reasons = {r.reason for r in report.shed}
+        assert reasons <= {ShedReason.RETRIES_EXHAUSTED, ShedReason.NO_WORKER}
+        assert all(
+            r.attempts <= server.config.max_retries + 1 for r in report.shed
+        )
+
+    def test_rejects_bad_fleet(self):
+        worker = make_worker(0, (6, 4))
+        with pytest.raises(ServingError):
+            TridentServer([])
+        with pytest.raises(ServingError):
+            TridentServer([worker, worker])
+
+    def test_rejects_duplicate_request_ids(self):
+        worker = make_worker(0, (6, 4))
+        server = TridentServer([worker])
+        with pytest.raises(ServingError):
+            server.run([req(0, 0.0, n_in=6), req(0, 1.0, n_in=6)])
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError):
+            ServerConfig(max_queue_depth=0)
+        with pytest.raises(ServingError):
+            ServerConfig(slo_latency_s=0.0)
+        with pytest.raises(ServingError):
+            ServerConfig(retry_backoff_factor=0.5)
+
+    def test_thread_pool_execution_matches_inline(self):
+        arrivals = [req(i, i * 1e-7, n_in=6) for i in range(12)]
+        inline, _ = self.serve(arrivals, n_workers=2)
+        pooled, _ = self.serve(arrivals, n_workers=2, executor_threads=2)
+        assert inline.decisions == pooled.decisions
+        for a, b in zip(inline.completed, pooled.completed):
+            assert np.array_equal(a.output, b.output)
+
+
+# ---------------------------------------------------------------------------
+class TestWorkloadAndSmoke:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        config = WorkloadConfig(
+            phases=(
+                Phase("warm", 150, 0.6),
+                Phase("burst", 150, 2.0),
+                Phase("drain", 250, 0.35),
+            ),
+        )
+        report, server = run_serve_workload(config)
+        replay, _ = run_serve_workload(config)
+        return report, replay, server
+
+    def test_smoke_checks_all_pass(self, runs):
+        report, replay, _ = runs
+        failed = [name for name, ok in smoke_checks(report, replay) if not ok]
+        assert not failed
+
+    def test_breaker_arc_trip_repair_restore(self, runs):
+        report, _, _ = runs
+        sequence = [
+            (t["to"], t["reason"]) for t in report.breaker_transitions
+        ]
+        assert ("open", "failure_threshold") in sequence
+        assert ("half_open", "cooldown_elapsed") in sequence
+        assert ("closed", "probe_succeeded") in sequence
+
+    def test_replay_outputs_bit_identical(self, runs):
+        report, replay, _ = runs
+        assert report.decisions == replay.decisions
+        assert len(report.completed) == len(replay.completed)
+        for a, b in zip(report.completed, replay.completed):
+            assert a.request.request_id == b.request.request_id
+            assert np.array_equal(a.output, b.output)
+
+    def test_shedding_skews_low_priority(self, runs):
+        report, _, _ = runs
+        rates = shed_rate_by_priority(report)
+        assert rates.get(0, 0.0) >= max(
+            (rate for p, rate in rates.items() if p > 0), default=0.0
+        )
+
+    def test_report_dict_round_trips_to_json(self, runs):
+        import json
+
+        report, _, _ = runs
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["conservation_ok"] is True
+        assert payload["submitted"] == 550
+
+    def test_sustainable_rate_positive(self, tiny_dims):
+        workers = [make_worker(dims=tiny_dims)]
+        assert sustainable_rate_hz(workers, 4) > 0
+
+    def test_synthesize_arrivals_sorted_and_windowed(self):
+        config = WorkloadConfig()
+        rng = np.random.default_rng(0)
+        arrivals, windows = synthesize_arrivals(config, 1e6, rng)
+        times = [r.arrival_s for r in arrivals]
+        assert times == sorted(times)
+        assert set(windows) == {"warm", "burst", "drain"}
+        assert windows["warm"][1] <= windows["burst"][0] + 1e-12
+
+
+# ---------------------------------------------------------------------------
+class TestServingTelemetry:
+    def test_decisions_emit_counters_and_events(self):
+        worker = make_worker(0, (6, 4))
+        with telemetry.session() as t:
+            server = TridentServer(
+                [worker],
+                config=ServerConfig(max_queue_depth=2, max_batch=2),
+            )
+            server.run([req(i, i * 1e-12, n_in=6) for i in range(10)])
+        samples = telemetry.parse_prometheus_text(t.metrics.to_prometheus())
+        assert samples["repro_requests_admitted_total"] > 0
+        assert samples["repro_requests_completed_total"] > 0
+        assert samples['repro_requests_shed_total{reason="queue_full"}'] > 0
+        kinds = {e.kind for e in t.events.records}
+        assert {"serve_admit", "serve_dispatch", "serve_complete",
+                "serve_shed"} <= kinds
+
+    def test_telemetry_never_perturbs_decisions(self):
+        arrivals = [req(i, i * 1e-12, n_in=6) for i in range(10)]
+
+        def go():
+            server = TridentServer(
+                [make_worker(0, (6, 4))],
+                config=ServerConfig(max_queue_depth=2, max_batch=2),
+            )
+            return server.run(arrivals)
+
+        with telemetry.session():
+            instrumented = go()
+        bare = go()
+        assert instrumented.decisions == bare.decisions
+        for a, b in zip(instrumented.completed, bare.completed):
+            assert np.array_equal(a.output, b.output)

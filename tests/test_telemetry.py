@@ -534,3 +534,151 @@ class TestNonPerturbation:
         assert resumed.losses == baseline.losses
         for w_resumed, w_base in zip(resumed_weights, base_weights):
             assert np.array_equal(w_resumed, w_base)
+
+
+# ---------------------------------------------------------------------------
+class TestTimedGauges:
+    def test_set_at_records_bounded_samples(self):
+        from repro.telemetry.metrics import GAUGE_SAMPLE_LIMIT
+
+        t = telemetry.enable()
+        g = t.metrics.gauge("repro_test_gauge")
+        for i in range(GAUGE_SAMPLE_LIMIT + 10):
+            g.set_at(float(i), i * 1e-3)
+        samples = g.samples()
+        assert len(samples) == GAUGE_SAMPLE_LIMIT
+        assert samples[-1] == ((GAUGE_SAMPLE_LIMIT + 9) * 1e-3,
+                               float(GAUGE_SAMPLE_LIMIT + 9))
+        assert g.value == float(GAUGE_SAMPLE_LIMIT + 9)
+
+    def test_timed_samples_exported_in_json(self):
+        t = telemetry.enable()
+        t.metrics.gauge("repro_test_gauge").set_at(2.5, 1e-6)
+        record = next(
+            r for r in t.metrics.to_json()["metrics"]
+            if r["name"] == "repro_test_gauge"
+        )
+        assert json.loads(json.dumps(record))["samples"] == [[1e-6, 2.5]]
+
+    def test_null_instrument_accepts_set_at(self):
+        NULL_INSTRUMENT.set_at(1.0, 0.0)  # must not raise
+
+
+class TestMetricThreadSafety:
+    """Satellite: instrument updates are exact under worker threads."""
+
+    def test_concurrent_hammer_counts_exactly(self):
+        t = telemetry.enable()
+        counter = t.metrics.counter("repro_hammer_total")
+        gauge = t.metrics.gauge("repro_hammer_gauge")
+        hist = t.metrics.histogram(
+            "repro_hammer_seconds", buckets=(0.25, 0.5, 1.0)
+        )
+        n_threads, n_iter = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def hammer(k):
+            start.wait()
+            for i in range(n_iter):
+                counter.inc()
+                gauge.set_at(float(i), i * 1e-9)
+                hist.observe((i % 4) / 4.0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert counter.value == n_threads * n_iter
+        buckets, total, count = hist.snapshot()
+        assert count == n_threads * n_iter
+        assert sum(buckets) == count  # every observation in exactly one bucket
+        assert total == pytest.approx(n_threads * n_iter * (0 + 0.25 + 0.5 + 0.75) / 4)
+
+    def test_concurrent_creation_returns_one_instrument(self):
+        t = telemetry.enable()
+        seen = []
+        start = threading.Barrier(8)
+
+        def create():
+            start.wait()
+            seen.append(t.metrics.counter("repro_create_total"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
+
+# ---------------------------------------------------------------------------
+class TestPowerStreaming:
+    """Satellite: live power-trace samples stream as timed gauge updates."""
+
+    def test_forward_batch_streams_power_samples(self):
+        acc = small_accelerator()
+        with telemetry.session() as t:
+            acc.forward_batch(np.zeros((4, 6)))
+            acc.forward_batch(np.zeros((4, 6)))
+        gauge = t.metrics.gauge("repro_power_draw_w")
+        samples = gauge.samples()
+        assert len(samples) == 2
+        times = [s[0] for s in samples]
+        assert times == sorted(times) and times[0] > 0
+        assert all(power > 0 for _, power in samples)
+
+    def test_train_step_streams_power_samples(self):
+        acc = small_accelerator(verify=True)
+        trainer = InSituTrainer(acc, lr=0.05)
+        x = np.zeros((4, 6))
+        y = np.array([0, 1, 2, 0])
+        with telemetry.session() as t:
+            trainer.train_step(x, y)
+        # At least the step-level sample (the inner forward emits its own).
+        samples = t.metrics.gauge("repro_power_draw_w").samples()
+        assert samples
+        times = [s[0] for s in samples]
+        assert times == sorted(times)
+        assert all(power > 0 for _, power in samples)
+
+    @staticmethod
+    def modeled_trace(n_samples=64):
+        from repro.dataflow import PhotonicArch, power_trace
+        from repro.dataflow.schedule_sim import simulate_layer
+        from repro.dataflow.tiling import TileSchedule
+        from repro.nn.layers import GEMMShape
+
+        arch = PhotonicArch.trident()
+        sim = simulate_layer(
+            "l", TileSchedule(GEMMShape(m=64, k=16, n=50), 16, 16), arch
+        )
+        return power_trace(sim, arch, n_samples=n_samples)
+
+    def test_stream_power_trace_replays_samples(self):
+        from repro.dataflow import stream_power_trace
+
+        trace = self.modeled_trace()
+        with telemetry.session() as t:
+            emitted = stream_power_trace(trace, t_offset_s=1.0)
+        assert emitted == trace.times_s.size
+        samples = t.metrics.gauge("repro_power_draw_w").samples()
+        assert len(samples) == min(emitted, 4096)
+        assert samples[0][0] >= 1.0
+
+    def test_streaming_disabled_is_free_and_unperturbing(self):
+        from repro.dataflow import stream_power_trace
+
+        trace = self.modeled_trace()
+        assert stream_power_trace(trace) == 0  # no session: nothing emitted
+
+        def outputs(seed):
+            acc = small_accelerator(seed=seed)
+            return acc.forward_batch(np.linspace(-1, 1, 24).reshape(4, 6))
+
+        bare = outputs(5)
+        with telemetry.session():
+            instrumented = outputs(5)
+        assert np.array_equal(bare, instrumented)
