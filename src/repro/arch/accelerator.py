@@ -208,16 +208,40 @@ class TridentAccelerator:
                 "the network (the CNN-scale path is repro.dataflow)"
             )
 
-    def set_weights(self, weights: list[np.ndarray]) -> None:
-        """Program true-valued weight matrices (one per mapped layer)."""
+    def set_weights(
+        self,
+        weights: list[np.ndarray],
+        weight_scales: "list[float] | None" = None,
+    ) -> None:
+        """Program true-valued weight matrices (one per mapped layer).
+
+        ``weight_scales`` overrides the per-layer analog scale instead of
+        deriving it from each matrix's own peak.  A sharded deployment
+        needs this: a row slice of a wide layer must quantize with the
+        *full* matrix's scale, or its levels (and outputs) would diverge
+        from the single-accelerator reference by the ratio of the peaks.
+        """
         if len(weights) != len(self.layers):
             raise MappingError(
                 f"got {len(weights)} weight matrices for {len(self.layers)} layers"
             )
-        for layer, w in zip(self.layers, weights):
-            self._program_layer(layer, np.asarray(w, dtype=np.float64))
+        if weight_scales is not None and len(weight_scales) != len(self.layers):
+            raise MappingError(
+                f"got {len(weight_scales)} weight scales for "
+                f"{len(self.layers)} layers"
+            )
+        for k, (layer, w) in enumerate(zip(self.layers, weights)):
+            scale = None if weight_scales is None else weight_scales[k]
+            self._program_layer(
+                layer, np.asarray(w, dtype=np.float64), scale_override=scale
+            )
 
-    def _program_layer(self, layer: MappedLayer, weights: np.ndarray) -> None:
+    def _program_layer(
+        self,
+        layer: MappedLayer,
+        weights: np.ndarray,
+        scale_override: "float | None" = None,
+    ) -> None:
         if weights.shape != (layer.out_dim, layer.in_dim):
             raise ShapeError(
                 f"layer {layer.index} expects weights "
@@ -228,6 +252,14 @@ class TridentAccelerator:
         # docstring, "Analog range management").
         peak = float(np.max(np.abs(weights))) if weights.size else 0.0
         scale = peak if peak > 1.0 else 1.0
+        if scale_override is not None:
+            if not scale_override >= max(peak, 1.0):
+                raise MappingError(
+                    f"layer {layer.index} scale override {scale_override} is "
+                    f"below the matrix peak {peak} (or below 1.0); programmed "
+                    "levels would clip out of the analog range"
+                )
+            scale = float(scale_override)
         layer.weights = weights.copy()
         layer.weight_scale = scale
         for tile_index in range(len(layer.tiles)):

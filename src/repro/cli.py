@@ -19,6 +19,8 @@ Usage (also via ``python -m repro``):
     python -m repro checkpoint ckpt/step_0000000010.ckpt
     python -m repro trace --out run.trace.json    # Perfetto-loadable trace
     python -m repro trace --smoke                 # CI observability gate
+    python -m repro shard                         # pipeline-sharded serving
+    python -m repro shard --smoke                 # CI sharding gate
     python -m repro -v train --steps 20           # INFO-level run log
     python -m repro train --metrics-out run.prom  # Prometheus dump
 
@@ -721,6 +723,76 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Serve one model sharded across a pipeline of accelerators.
+
+    The model provably overflows a single shard-sized chip; the
+    cost-model planner cuts it into pipeline stages (row-sharding any
+    single layer too wide for one chip), and a :class:`~repro.serving.
+    ShardedWorker` serves a seeded request burst with overlapped stage
+    execution.  With ``--smoke``, runs the full self-audit instead —
+    bit-identity vs a single large reference accelerator, overlap vs
+    serialized makespans, stage-fault drain/repair, conservation, and
+    bit-identical replay — as a CI gate.
+    """
+    import dataclasses
+
+    from repro.serving import (
+        ShardWorkloadConfig,
+        makespan_s,
+        run_shard_workload,
+        shard_smoke_checks,
+    )
+    from repro.serving.shard_workload import (
+        plan_workload,
+        single_shard_mapping_error,
+    )
+
+    config = ShardWorkloadConfig()
+    overrides = {}
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    if args.smoke:
+        checks, details = shard_smoke_checks(config)
+        plan = details["plan"]
+        print(
+            f"plan: {plan['n_stages']} stage(s), "
+            f"{plan['n_accelerators']} accelerator(s), "
+            f"bottleneck {plan['bottleneck_s'] * 1e6:.3f} us"
+        )
+        print(f"single-shard mapping: {details['single_shard_error']}")
+        print(
+            f"makespan: overlap {details['overlap_makespan_s'] * 1e6:.2f} us, "
+            f"serialized {details['serialized_makespan_s'] * 1e6:.2f} us "
+            f"(speedup {details['overlap_speedup']:.2f}x)"
+        )
+        ok = True
+        for label, passed in checks:
+            print(f"  {'OK  ' if passed else 'FAIL'} {label}")
+            ok = ok and passed
+        return 0 if ok else 1
+
+    error = single_shard_mapping_error(config)
+    if error is not None:
+        print(f"single shard refuses the model: {error}")
+    print(plan_workload(config).render())
+    report, _, worker = run_shard_workload(
+        config, overlap=not args.serialized
+    )
+    print(report.render())
+    mode = "serialized" if args.serialized else "overlapped"
+    print(
+        f"  {mode} makespan: {makespan_s(report) * 1e6:.2f} us over "
+        f"{len(worker.stages)} stage(s)"
+    )
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     """Inspect a checkpoint file: schema, kind, hash, integrity verdict."""
     from repro.runtime import describe_checkpoint
@@ -979,6 +1051,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="replay + robustness self-audit (CI serving gate)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "shard",
+        help="serve one model sharded across a pipeline of accelerators",
+    )
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests in the burst (default 240)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default 11)")
+    p.add_argument("--serialized", action="store_true",
+                   help="hold the pipeline exclusive per batch (baseline)")
+    p.add_argument("--smoke", action="store_true",
+                   help="bit-identity + overlap + stage-fault self-audit "
+                        "(CI sharding gate)")
+    p.set_defaults(func=cmd_shard)
 
     p = sub.add_parser(
         "checkpoint", help="inspect a checkpoint file (schema/kind/hash)"

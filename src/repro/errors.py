@@ -68,6 +68,13 @@ class MappingError(ReproError):
     """A neural-network layer could not be mapped onto the hardware."""
 
 
+class ShardingError(MappingError):
+    """A model could not be split across multiple accelerators: no
+    feasible cut points under the per-shard capacity, an invalid explicit
+    cut, or a stage/weight specification that disagrees with the plan.
+    Subclasses :class:`MappingError` — sharding is mapping, scaled out."""
+
+
 class ShapeError(ReproError):
     """Tensor shapes are inconsistent with the layer/graph definition."""
 

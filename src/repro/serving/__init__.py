@@ -20,6 +20,13 @@ from repro.serving.request import (
     ShedReason,
 )
 from repro.serving.server import ServeReport, ServerConfig, TridentServer
+from repro.serving.shard_workload import (
+    ShardWorkloadConfig,
+    makespan_s,
+    run_shard_workload,
+    shard_smoke_checks,
+)
+from repro.serving.sharded import ShardedWorker, build_sharded_worker
 from repro.serving.worker import AcceleratorWorker
 from repro.serving.workload import (
     Phase,
@@ -44,11 +51,17 @@ __all__ = [
     "RejectedRequest",
     "ServeReport",
     "ServerConfig",
+    "ShardWorkloadConfig",
+    "ShardedWorker",
     "ShedReason",
     "TridentServer",
     "WorkloadConfig",
+    "build_sharded_worker",
     "build_worker",
+    "makespan_s",
     "run_serve_workload",
+    "run_shard_workload",
+    "shard_smoke_checks",
     "shed_rate_by_priority",
     "smoke_checks",
     "sustainable_rate_hz",

@@ -57,10 +57,17 @@ class MicroBatcher:
         are coming.
 
         Dispatch immediately when the batch is already full or nothing
-        further is coming.  Otherwise wait only if serving the head
-        request in a (one larger) batch that closes at the refill instant
-        would still land inside the head's budget — the cost model prices
-        that hypothetical finish.
+        further is coming.  Dispatch too when serving the current batch
+        *right now* already lands at (or past) the head's budget — waiting
+        can only finish later, so coalescing further cannot help the head.
+        Otherwise wait only if serving the head request in a (one larger)
+        batch that closes at the refill instant would still land inside
+        the head's budget — the cost model prices that hypothetical
+        finish.  A refill instant already in the past (a same-instant
+        arrival/retry not yet drained into the queue) coalesces from
+        ``now_s``, not from the stale instant — pricing the wait with a
+        bygone start time would understate the hypothetical finish and
+        hold dispatches that can no longer gain anything.
         """
         depth = len(queue)
         if depth == 0:
@@ -70,9 +77,12 @@ class MicroBatcher:
         if next_refill_s is None or math.isinf(next_refill_s):
             return True
         head = queue.peek()
+        budget = self.budget_end_s(head)
+        if now_s + service_time_fn(depth) >= budget:
+            return True
         grown = min(depth + 1, self.max_batch)
-        finish_if_waiting = next_refill_s + service_time_fn(grown)
-        return finish_if_waiting > self.budget_end_s(head)
+        finish_if_waiting = max(next_refill_s, now_s) + service_time_fn(grown)
+        return finish_if_waiting > budget
 
     def size_batch(self, queue: AdmissionQueue) -> int:
         """How many requests the next dispatch should take."""

@@ -241,9 +241,10 @@ class ServeReport:
         return "\n".join(lines)
 
 
-# Event-category precedence at equal timestamps: free workers first, then
-# apply world changes, then release retries, then admit fresh arrivals.
-_COMPLETION, _ACTION, _RETRY, _ARRIVAL = 0, 1, 2, 3
+# Event-category precedence at equal timestamps: free workers first
+# (batch completions, then pipeline ingest releases), then apply world
+# changes, then release retries, then admit fresh arrivals.
+_COMPLETION, _INGEST, _ACTION, _RETRY, _ARRIVAL = 0, 1, 2, 3, 4
 
 
 class TridentServer:
@@ -260,7 +261,7 @@ class TridentServer:
         ids = [w.worker_id for w in workers]
         if len(set(ids)) != len(ids):
             raise ServingError(f"worker ids must be unique, got {ids}")
-        in_dims = {w.acc.layers[0].in_dim for w in workers}
+        in_dims = {w.input_dim for w in workers}
         if len(in_dims) != 1:
             raise ServingError(
                 f"workers disagree on input width: {sorted(in_dims)}"
@@ -268,6 +269,8 @@ class TridentServer:
         self.workers = sorted(workers, key=lambda w: w.worker_id)
         self.config = config or ServerConfig()
         self.clock = clock or VirtualClock()
+        for worker in self.workers:
+            worker.bind_clock(self.clock)
         self.queue = AdmissionQueue(self.config.max_queue_depth)
         self.batcher = MicroBatcher(
             self.config.max_batch, self.config.slo_latency_s
@@ -294,6 +297,10 @@ class TridentServer:
         self._actions: list[tuple[float, int, str, object]] = []
         self._action_index = 0
         self._completions: list[tuple[float, int, int, tuple, float]] = []
+        #: Pipeline ingest releases: instants an overlapped worker frees
+        #: its first stage before the in-flight batch finishes.  Pure
+        #: wake-ups — popping one just gives ``_dispatch_all`` a chance.
+        self._ingest_events: list[tuple[float, int]] = []
         self._event_seq = 0
         self._decision_seq = 0
         self._pool: ThreadPoolExecutor | None = None
@@ -367,6 +374,17 @@ class TridentServer:
         serving = self._serving_workers() or self.workers
         return min(w.service_time_s(1) for w in serving)
 
+    def _worker_free_s(self, worker_id: int, now_s: float) -> float:
+        """Instant the worker can ingest a new batch (``now_s`` if idle).
+
+        An explicit ``None`` check: ``busy_until or now_s`` would also
+        coerce a legitimate ``busy_until == 0.0`` — a dispatch issued at
+        clock start — into ``now_s``, silently misreading "busy until
+        t=0" as "idle".
+        """
+        busy_until = self._busy_until[worker_id]
+        return now_s if busy_until is None else busy_until
+
     def _estimate_completion_s(self, now_s: float) -> float:
         """Conservative finish estimate for a request admitted at ``now_s``.
 
@@ -382,7 +400,7 @@ class TridentServer:
             w.service_time_s(self.config.max_batch) for w in serving
         )
         earliest_free = min(
-            self._busy_until[w.worker_id] or now_s for w in serving
+            self._worker_free_s(w.worker_id, now_s) for w in serving
         )
         batches = -(-(len(self.queue) + 1) // self.config.max_batch)
         drain_s = batches * full_batch_s / len(serving)
@@ -452,7 +470,8 @@ class TridentServer:
             if not len(self.queue):
                 break
             wid = worker.worker_id
-            if self._busy_until[wid] is not None:
+            busy_until = self._busy_until[wid]
+            if busy_until is not None and busy_until > now:
                 continue
             breaker = self.breakers[wid]
             was_open = breaker.state is BreakerState.OPEN
@@ -475,14 +494,20 @@ class TridentServer:
                     continue
                 size = self.batcher.size_batch(self.queue)
             batch = tuple(self.queue.pop_batch(size))
-            service = worker.service_time_s(len(batch))
-            finish = now + service
-            self._busy_until[wid] = finish
+            ingest_free, finish = worker.dispatch_times_s(now, len(batch))
+            self._busy_until[wid] = ingest_free
             self._event_seq += 1
             heapq.heappush(
                 self._completions,
                 (finish, self._event_seq, wid, batch, now),
             )
+            if ingest_free < finish:
+                # Overlapped worker: wake the loop when its first stage
+                # frees so the next batch can enter before this one exits.
+                self._event_seq += 1
+                heapq.heappush(
+                    self._ingest_events, (ingest_free, self._event_seq)
+                )
             self._decide(
                 "dispatch",
                 worker=wid,
@@ -516,7 +541,7 @@ class TridentServer:
         xs = np.stack([r.x for r in batch])
         with _trace_span(
             "serve_batch",
-            accelerator=worker.acc,
+            accelerator=getattr(worker, "acc", None),
             worker=worker.worker_id,
             batch=len(batch),
         ):
@@ -528,7 +553,12 @@ class TridentServer:
     ) -> None:
         now = self.clock.now()
         wid = worker.worker_id
-        self._busy_until[wid] = None
+        busy_until = self._busy_until[wid]
+        if busy_until is not None and busy_until <= now:
+            # Do not clear an ingest block a *later* dispatch put in the
+            # future — an overlapped worker can complete batch i while
+            # batch i+1 still occupies its first stage.
+            self._busy_until[wid] = None
         breaker = self.breakers[wid]
         was_probe = breaker.state is BreakerState.HALF_OPEN
         if was_probe:
@@ -627,6 +657,10 @@ class TridentServer:
         best: tuple[float, int] | None = None
         if self._completions:
             best = (self._completions[0][0], _COMPLETION)
+        if self._ingest_events:
+            t = self._ingest_events[0][0]
+            if best is None or (t, _INGEST) < best:
+                best = (t, _INGEST)
         if self._action_index < len(self._actions):
             t = self._actions[self._action_index][0]
             if best is None or (t, _ACTION) < best:
@@ -726,6 +760,14 @@ class TridentServer:
                     self.clock.advance_to(max(self.clock.now(), t))
                     if category == _COMPLETION:
                         self._run_completions(self._pop_due_completions(t))
+                    elif category == _INGEST:
+                        # Pure wake-up: an overlapped worker's first stage
+                        # freed; the dispatch pass below does the work.
+                        while (
+                            self._ingest_events
+                            and self._ingest_events[0][0] <= t
+                        ):
+                            heapq.heappop(self._ingest_events)
                     elif category == _ACTION:
                         _, _, name, fn = self._actions[self._action_index]
                         self._action_index += 1

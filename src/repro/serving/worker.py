@@ -68,6 +68,19 @@ class AcceleratorWorker:
         self.batches_failed = 0
 
     # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def input_dim(self) -> int:
+        """Model input width this worker serves."""
+        return self.acc.layers[0].in_dim
+
+    def bind_clock(self, clock) -> None:
+        """Accept the server's virtual clock (single-chip workers have no
+        internal schedule, so this is a no-op; pipelined workers override
+        it to timestamp their per-stage breakers)."""
+
+    # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
     def service_time_s(self, batch_size: int) -> float:
@@ -78,6 +91,21 @@ class AcceleratorWorker:
             batch_size,
             overhead_s=self.dispatch_overhead_s,
         )
+
+    def dispatch_times_s(
+        self, now_s: float, batch_size: int
+    ) -> tuple[float, float]:
+        """(ingest-free instant, finish instant) for a dispatch at ``now_s``.
+
+        The server frees a worker for its *next* dispatch at the first
+        element and completes the batch at the second.  A single-chip
+        worker is exclusive for the whole service time, so both coincide;
+        a pipelined worker returns an earlier ingest-free instant (its
+        first stage frees before the batch leaves the last stage), which
+        is what lets stage k of batch i overlap stage k-1 of batch i+1.
+        """
+        finish = now_s + self.service_time_s(batch_size)
+        return finish, finish
 
     # ------------------------------------------------------------------
     # Health

@@ -105,7 +105,9 @@ class TestGSTProperties:
         t1 = float(patch_transmission(c1, 0.5e-6))
         t2 = float(patch_transmission(c2, 0.5e-6))
         if c1 < c2:
-            assert t1 >= t2
+            # Antitone up to float rounding: adjacent crystallinities can
+            # evaluate within 1 ULP of each other (e.g. c1=0, c2~1e-16).
+            assert t1 >= t2 - 1e-12
 
 
 class TestActivationProperties:
