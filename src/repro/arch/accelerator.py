@@ -345,15 +345,20 @@ class TridentAccelerator:
         self._write_listeners.append(listener)
 
     def inject_stuck_faults(
-        self, fraction: float, stuck_level: int | None = None
+        self, fraction: float, stuck_level: int | None = None, rng=None
     ) -> int:
         """Inject stuck-at faults into every allocated PE's bank.
 
         Draws from the accelerator's own seeded generator so campaigns
-        are reproducible.  Returns the total number of newly stuck cells.
+        are reproducible.  An external ``rng`` (e.g. a chaos plan's
+        per-injection stream) may be supplied instead, which leaves the
+        accelerator's own draw sequence untouched — chaos then only adds
+        faults, it never perturbs the baseline's RNG alignment.  Returns
+        the total number of newly stuck cells.
         """
+        draw = self.rng if rng is None else rng
         return sum(
-            pe.bank.inject_stuck_faults(fraction, self.rng, stuck_level)
+            pe.bank.inject_stuck_faults(fraction, draw, stuck_level)
             for pe in self.pes
         )
 

@@ -852,6 +852,71 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Soak the stack under deterministic chaos; emit a flake matrix.
+
+    Sweeps the serve/shard/resume/train scenarios across a seed range,
+    each cell repeated and audited (conservation, structured sheds,
+    atomic batches, finite outputs, charged repairs, bit-identical
+    replay).  ``--gate`` makes any failing or flaky cell — or a
+    self-audit that cannot detect a deliberately unhandled fault — exit
+    non-zero, which is how CI consumes it.
+    """
+    import json
+
+    from repro.chaos import (
+        SoakConfig,
+        render_matrix,
+        run_self_audit,
+        run_soak,
+        validate_matrix,
+    )
+
+    scenarios = tuple(args.scenarios) if args.scenarios else None
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    overrides = {"seeds": seeds, "repeats": args.repeats,
+                 "chaos": not args.no_chaos}
+    if scenarios is not None:
+        overrides["scenarios"] = scenarios
+    config = SoakConfig(**overrides)
+
+    def progress(cell):
+        verdict = "pass" if cell["ok"] else "FAIL"
+        print(
+            f"  {verdict}  {cell['scenario']:<7} seed {cell['seed']:<3} "
+            f"({cell['duration_s']:.2f}s)"
+        )
+
+    doc = run_soak(config, progress=progress)
+    if args.gate or args.smoke:
+        doc["self_audit"] = run_self_audit(config.seeds[0])
+        print(
+            f"  {'pass' if doc['self_audit']['ok'] else 'FAIL'}  self-audit "
+            "(sabotaged cell must be flagged)"
+        )
+    problems = validate_matrix(doc)
+    if problems:
+        for problem in problems:
+            print(f"  FAIL  matrix schema: {problem}")
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+        print(f"flake matrix: {out}")
+    print(render_matrix(doc))
+    gate_ok = (
+        not doc["flaky"]
+        and not problems
+        and doc.get("self_audit", {"ok": True})["ok"]
+    )
+    if args.gate:
+        print(f"soak gate: {'OK' if gate_ok else 'FAIL'}")
+        return 0 if gate_ok else 1
+    return 0
+
+
 def cmd_endurance(args: argparse.Namespace) -> int:
     """PCM wear-out analysis for one model."""
     from repro.analysis import endurance_report
@@ -1084,6 +1149,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", metavar="DIR",
                    help="also write fault_campaign.{csv,json} to DIR")
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos soak: scenarios x seeds, audited, with a flake matrix",
+    )
+    p.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        choices=("serve", "shard", "resume", "train"),
+        help="subset of scenarios (default: all four)",
+    )
+    p.add_argument("--seeds", type=int, default=4, metavar="N",
+                   help="number of seeds to sweep (default 4)")
+    p.add_argument("--seed-base", type=int, default=0, metavar="S",
+                   help="first seed of the sweep (default 0)")
+    p.add_argument("--repeats", type=int, default=2, metavar="R",
+                   help="runs per cell; digests must agree (default 2)")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="sweep without injections (baseline variability)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the flake matrix JSON here")
+    p.add_argument("--gate", action="store_true",
+                   help="exit non-zero on any flake/failure (CI gate)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-bounded sweep: also run the sabotage self-audit "
+                        "and matrix schema validation")
+    p.set_defaults(func=cmd_soak)
 
     return parser
 

@@ -64,6 +64,12 @@ class WorkerFault(ServingError):
     it into retry/shed decisions — it never escapes the serving loop."""
 
 
+class ChaosError(ReproError):
+    """An invalid chaos plan, injection, or soak-harness configuration —
+    or (from the soak self-audit) an intentionally unhandled injected
+    fault proving the gate can fail."""
+
+
 class MappingError(ReproError):
     """A neural-network layer could not be mapped onto the hardware."""
 

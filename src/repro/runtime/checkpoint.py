@@ -40,6 +40,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.telemetry.session import counter as _metric_counter
+from repro.telemetry.session import emit_event as _emit_event
 
 #: Bump when the snapshot layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -298,6 +300,19 @@ class CheckpointStore:
                     f"skipping unusable checkpoint {self.path_for(step).name}: {exc}",
                     stacklevel=2,
                 )
+                # A skipped checkpoint is a recovery decision, not just a
+                # log line: surface it structurally so soak audits and
+                # dashboards can count silent-rotation events.
+                _emit_event(
+                    "checkpoint_corrupt_skipped",
+                    path=str(self.path_for(step)),
+                    step=int(step),
+                    error=str(exc),
+                )
+                _metric_counter(
+                    "repro_checkpoint_corrupt_skipped_total",
+                    "Corrupt checkpoint files skipped during store recovery",
+                ).inc()
         return None
 
     def _prune(self) -> None:

@@ -53,6 +53,7 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at_s: float | None = None
+        self._probe_floor_s = float("-inf")
         self._on_transition = on_transition
 
     # ------------------------------------------------------------------
@@ -61,7 +62,13 @@ class CircuitBreaker:
             return
         before, self.state = self.state, to
         if to is BreakerState.OPEN:
-            self.opened_at_s = now_s
+            # Probe scheduling is monotone: a forced trip carrying a
+            # stale timestamp (e.g. a chaos storm firing against a
+            # breaker that already probed at a later instant) must never
+            # move next_probe_s() backward, or the event loop would
+            # schedule a probe in its own past.
+            self.opened_at_s = max(now_s, self._probe_floor_s - self.cooldown_s)
+            self._probe_floor_s = self.opened_at_s + self.cooldown_s
         if self._on_transition is not None:
             self._on_transition(now_s, self.worker_id, before, to, reason)
 

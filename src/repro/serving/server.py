@@ -652,6 +652,29 @@ class TridentServer:
         self._actions.append((float(t_s), len(self._actions), name, fn))
         self._actions.sort(key=lambda a: (a[0], a[1]))
 
+    def install_chaos(self, session) -> None:
+        """Wire an armed :class:`~repro.chaos.session.ChaosSession` in.
+
+        The explicit hook point between a compiled chaos plan and this
+        server (no monkey-patching anywhere): scheduled injections
+        (stuck bursts, drift bursts, breaker storms, sabotage) become
+        ordinary :meth:`schedule_action` callbacks — logged in the
+        decision stream like any other world change — and the plan's
+        clock jitter is installed on the virtual clock.  Inline
+        injections (crashes, output corruption) need no wiring here;
+        the workers' execute hooks consume them directly.
+        """
+        from repro.chaos.injectors import make_server_action
+
+        if session.plan.clock_jitter_s > 0.0:
+            self.clock.set_jitter(session.jitter)
+        for index, injection in session.scheduled_injections():
+            self.schedule_action(
+                injection.t_s,
+                f"chaos_{injection.kind}#{index}",
+                make_server_action(session, index, injection),
+            )
+
     def _next_event(self) -> tuple[float, int] | None:
         """(time, category) of the earliest pending event, if any."""
         best: tuple[float, int] | None = None

@@ -45,6 +45,10 @@ import dataclasses
 
 import numpy as np
 
+from repro.chaos.session import (
+    corrupt_output as _chaos_corrupt,
+    crash_check as _chaos_crash,
+)
 from repro.dataflow.cost_model import PhotonicArch, forward_batch_latency_s
 from repro.errors import ServingError, WorkerFault
 from repro.serving.breaker import BreakerState, CircuitBreaker
@@ -296,8 +300,22 @@ class ShardedWorker:
         naming the stage: the batch is abandoned whole (stages already
         traversed spent real symbols, but nothing is returned), so
         requesters never see output that a degraded stage touched.
+
+        Chaos hook points bracket the pipeline: an armed ``worker_crash``
+        fires at dispatch (before stage 0) or drain (after the last
+        stage), and an armed ``corrupt_output`` poisons the drained
+        outputs — which the finite-output integrity gate then converts
+        into a :class:`WorkerFault`, proving corruption can never reach
+        a requester.  With no chaos session active each hook is one
+        global read.
         """
         now = self._now()
+        reason = _chaos_crash(self.worker_id, "dispatch", now)
+        if reason is not None:
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} crashed at dispatch: {reason}"
+            )
         for runtime in self.stages:
             if not runtime.breaker.allow(now):
                 self.batches_failed += 1
@@ -323,6 +341,19 @@ class ShardedWorker:
             ):
                 xs = runtime.stage.forward_batch(xs)
             runtime.breaker.record_success(now)
+        xs = _chaos_corrupt(self.worker_id, now, xs)
+        reason = _chaos_crash(self.worker_id, "drain", now)
+        if reason is not None:
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} crashed at drain: {reason}"
+            )
+        if not np.all(np.isfinite(xs)):
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} output integrity check failed: "
+                "non-finite values in drained batch"
+            )
         self.batches_executed += 1
         return xs
 
@@ -330,17 +361,25 @@ class ShardedWorker:
     # Degradation / repair
     # ------------------------------------------------------------------
     def degrade_stage(
-        self, stage_index: int, fraction: float, stuck_level: int | None = None
+        self,
+        stage_index: int,
+        fraction: float,
+        stuck_level: int | None = None,
+        rng=None,
     ) -> int:
         """Inject stuck faults into one stage and refresh its readback.
 
         Mirrors :meth:`AcceleratorWorker.degrade` for a single fault
-        domain; returns newly stuck cells across the stage's parts.
+        domain; returns newly stuck cells across the stage's parts.  An
+        external ``rng`` (a chaos injection's derived stream) leaves the
+        parts' own generators untouched.
         """
         runtime = self.stages[stage_index]
         stuck = 0
         for acc in runtime.stage.parts:
-            stuck += acc.inject_stuck_faults(fraction, stuck_level=stuck_level)
+            stuck += acc.inject_stuck_faults(
+                fraction, stuck_level=stuck_level, rng=rng
+            )
             if acc.verify_writer is not None:
                 for layer in acc.layers:
                     for tile_index in range(len(layer.tiles)):

@@ -21,6 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chaos.session import (
+    corrupt_output as _chaos_corrupt,
+    crash_check as _chaos_crash,
+)
 from repro.dataflow.cost_model import PhotonicArch, forward_batch_latency_s
 from repro.errors import ServingError, WorkerFault
 from repro.telemetry.log import get_logger
@@ -66,6 +70,7 @@ class AcceleratorWorker:
         )
         self.batches_executed = 0
         self.batches_failed = 0
+        self._clock = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -76,9 +81,16 @@ class AcceleratorWorker:
         return self.acc.layers[0].in_dim
 
     def bind_clock(self, clock) -> None:
-        """Accept the server's virtual clock (single-chip workers have no
-        internal schedule, so this is a no-op; pipelined workers override
-        it to timestamp their per-stage breakers)."""
+        """Accept the server's virtual clock.
+
+        A single-chip worker has no internal schedule of its own; the
+        clock is kept solely so execute-time chaos hook points can
+        timestamp their checks against the plan (pipelined workers also
+        timestamp their per-stage breakers with it)."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
 
     # ------------------------------------------------------------------
     # Cost model
@@ -154,7 +166,17 @@ class AcceleratorWorker:
         above-threshold non-convergence fails the batch outright (its
         outputs could not be trusted), handing the requests back to the
         server for retry elsewhere or shedding.
+
+        Chaos hook points bracket the forward pass: an armed
+        ``worker_crash`` fires at dispatch (before the physics) or drain
+        (after it), and an armed ``corrupt_output`` poisons the outputs
+        with NaNs — which the finite-output integrity gate then converts
+        into a :class:`WorkerFault`, so corrupted values can never reach
+        a requester.  With no chaos session active each hook costs one
+        global read; the hooks live here, not in ``forward_batch``,
+        precisely to keep the accelerator's hot loop untouched.
         """
+        now = self._now()
         if not self.healthy:
             self.batches_failed += 1
             raise WorkerFault(
@@ -162,23 +184,48 @@ class AcceleratorWorker:
                 f"{self.unconverged_fraction:.3f} > "
                 f"{self.unhealthy_threshold:.3f}"
             )
+        reason = _chaos_crash(self.worker_id, "dispatch", now)
+        if reason is not None:
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} crashed at dispatch: {reason}"
+            )
         outputs = self.acc.forward_batch(xs)
+        outputs = _chaos_corrupt(self.worker_id, now, outputs)
+        reason = _chaos_crash(self.worker_id, "drain", now)
+        if reason is not None:
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} crashed at drain: {reason}"
+            )
+        if not np.all(np.isfinite(outputs)):
+            self.batches_failed += 1
+            raise WorkerFault(
+                f"worker {self.worker_id} output integrity check failed: "
+                "non-finite values in batch output"
+            )
         self.batches_executed += 1
         return outputs
 
     # ------------------------------------------------------------------
     # Degradation / repair (the breaker's collaborators)
     # ------------------------------------------------------------------
-    def degrade(self, fraction: float, stuck_level: int | None = None) -> int:
+    def degrade(
+        self, fraction: float, stuck_level: int | None = None, rng=None
+    ) -> int:
         """Inject stuck faults and refresh readback so health reflects them.
 
         Models a mid-run wear event.  The post-injection reprogram is
         what updates each bank's verify readback (and therefore
         ``unconverged_fraction``) — without program-verify enabled the
         damage stays invisible and the worker keeps serving degraded.
-        Returns the number of newly stuck cells.
+        An external ``rng`` (a chaos injection's derived stream) leaves
+        the accelerator's own generator untouched.  Returns the number
+        of newly stuck cells.
         """
-        stuck = self.acc.inject_stuck_faults(fraction, stuck_level=stuck_level)
+        stuck = self.acc.inject_stuck_faults(
+            fraction, stuck_level=stuck_level, rng=rng
+        )
         if self.acc.verify_writer is not None:
             for layer in self.acc.layers:
                 for tile_index in range(len(layer.tiles)):

@@ -59,6 +59,11 @@ WELL_KNOWN_COUNTERS = (
         "repro_breaker_transitions_total",
         "Serving circuit-breaker transitions, by target state",
     ),
+    ("repro_chaos_injections_total", "Chaos injections applied, by kind"),
+    (
+        "repro_checkpoint_corrupt_skipped_total",
+        "Corrupt checkpoint files skipped during store recovery",
+    ),
 )
 
 #: Repair-ladder tiers pre-registered on ``repro_repairs_total``.
@@ -78,6 +83,19 @@ SHED_REASONS = (
 #: Breaker states pre-registered on ``repro_breaker_transitions_total``.
 BREAKER_STATES = ("open", "half_open", "closed")
 
+#: Injection kinds pre-registered on ``repro_chaos_injections_total``
+#: (the chaos layer's :data:`repro.chaos.plan.INJECTION_KINDS`).
+CHAOS_KINDS = (
+    "worker_crash",
+    "corrupt_output",
+    "stuck_burst",
+    "drift_burst",
+    "breaker_storm",
+    "checkpoint_corrupt",
+    "ledger_tear",
+    "sabotage",
+)
+
 
 class TelemetrySession:
     """One enabled telemetry scope: tracer + metrics + event log."""
@@ -96,6 +114,9 @@ class TelemetrySession:
             elif name == "repro_breaker_transitions_total":
                 for state in BREAKER_STATES:
                     self.metrics.counter(name, help_text, to=state)
+            elif name == "repro_chaos_injections_total":
+                for kind in CHAOS_KINDS:
+                    self.metrics.counter(name, help_text, kind=kind)
             else:
                 self.metrics.counter(name, help_text)
 
