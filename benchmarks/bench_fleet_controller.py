@@ -1,0 +1,79 @@
+"""Controller-loop overhead gate on the fleet serve path.
+
+The closed-loop controller (docs/ARCHITECTURE.md §14) rides the serving
+loop as scheduled tick actions: each tick reads the always-on
+:class:`~repro.telemetry.rollup.ServingRollup`, drives the autoscaler,
+the degraded-mode ladder, and tenant rebalancing, then schedules the
+next tick.  The contract is that *watching* the fleet is nearly free —
+the decision loop must cost < 1% of the serve wall — while *changing*
+the fleet (cloning workers at commission, hashing bank state at
+decommission) is capacity work paid per scaling event and accounted
+separately (``provision_wall_s``).
+
+This bench runs the controlled smoke scenario end-to-end and gates
+``controller.wall_s / serve_wall`` at < 1%, taking the best of a few
+trials so a noisy CI neighbor can't fail the gate.
+"""
+
+import time
+
+from repro.fleet import run_fleet_workload, smoke_scenario
+
+MAX_LOOP_RATIO = 0.01
+TRIALS = 3
+
+
+def _one_trial(seed: int):
+    t0 = time.perf_counter()
+    result = run_fleet_workload(smoke_scenario(seed=seed), controlled=True)
+    wall = time.perf_counter() - t0
+    return wall, result
+
+
+def test_controller_loop_under_one_percent(record_report):
+    trials = [_one_trial(seed=0) for _ in range(TRIALS)]
+    # Best-of-N on the *ratio*: scheduler noise inflates numerator and
+    # denominator together, but a single stall inside a tick shouldn't
+    # fail the gate when the other trials show the true cost.
+    wall, result = min(
+        trials, key=lambda t: t[1].controller.wall_s / t[0]
+    )
+    controller = result.controller
+    ratio = controller.wall_s / wall
+    ticks = controller.ticks
+
+    record_report(
+        "fleet_controller_overhead",
+        "\n".join(
+            [
+                f"controlled smoke run: {wall * 1e3:.0f} ms serve wall, "
+                f"{ticks} controller ticks",
+                f"decision loop: {controller.wall_s * 1e3:.2f} ms total, "
+                f"{controller.wall_s / max(ticks, 1) * 1e6:.1f} us/tick",
+                f"provisioning (worker clone + checkpoint digest): "
+                f"{controller.provision_wall_s * 1e3:.2f} ms across "
+                f"{controller.scale_up_events} up / "
+                f"{controller.scale_down_events} down events",
+                f"loop ratio: {ratio * 100:.3f}% of serve wall (bar "
+                f"{MAX_LOOP_RATIO * 100:.0f}%, best of {TRIALS} trials)",
+            ]
+        ),
+    )
+    assert ratio < MAX_LOOP_RATIO, (
+        f"controller decision loop costs {ratio * 100:.2f}% of serve wall "
+        f"(bar {MAX_LOOP_RATIO * 100:.0f}%)"
+    )
+    # The run the gate graded must still be a real controlled run.
+    assert controller.stopped
+    assert controller.scale_up_events > 0
+    assert result.report.conservation_ok()
+
+
+def test_provisioning_accounted_separately():
+    """Actuation payloads land in provision_wall_s, not the loop wall."""
+    _, result = _one_trial(seed=0)
+    controller = result.controller
+    assert controller.provision_wall_s > 0.0
+    report = controller.report()
+    assert report["wall_s"] == controller.wall_s
+    assert report["provision_wall_s"] == controller.provision_wall_s

@@ -261,3 +261,74 @@ def audit_serve_run(
             ", ".join(f"{k}={v}" for k, v in sorted(applied.items())) or "none",
         )
     return result
+
+
+def audit_fleet_run(
+    fleet_result,
+    *,
+    replay=None,
+    session=None,
+) -> AuditResult:
+    """Invariant suite for a fleet control-plane run.
+
+    Runs every :func:`audit_serve_run` check over the run's
+    ``ServeReport``, then layers the control-plane contracts on top:
+    every decommissioned worker checkpointed its bank state before
+    leaving the roster, the degraded-mode ladder balanced its entries
+    and exits and converged back to nominal, no worker was stranded
+    mid-lifecycle, and every controller actuation landed in the decision
+    log.  ``fleet_result``/``replay`` are
+    :class:`~repro.fleet.workload.FleetRunResult` objects.
+    """
+    result = audit_serve_run(
+        fleet_result.report,
+        replay=None if replay is None else replay.report,
+        session=session,
+    )
+    pool = fleet_result.pool
+    decommissioned = pool.ids_in("decommissioned")
+    missing = [
+        wid for wid in decommissioned if wid not in pool.checkpoint_digests
+    ]
+    result.record(
+        "decommissions_checkpointed",
+        not missing,
+        f"workers {missing[:5]} retired without a bank-state digest"
+        if missing
+        else "",
+    )
+    counts = pool.counts()
+    settled = counts["warming"] == 0 and counts["draining"] == 0
+    result.record(
+        "fleet_lifecycle_settled",
+        settled,
+        f"run ended with {counts['warming']} warming / "
+        f"{counts['draining']} draining workers" if not settled else "",
+    )
+    controller = fleet_result.controller
+    if controller is not None:
+        from repro.fleet.controller import LADDER
+
+        balanced = (
+            controller.degraded_entries == controller.degraded_exits
+            and LADDER[controller.rung] == "nominal"
+        )
+        result.record(
+            "degraded_mode_converged",
+            balanced,
+            f"entries={controller.degraded_entries} "
+            f"exits={controller.degraded_exits} "
+            f"final={LADDER[controller.rung]}" if not balanced else "",
+        )
+        logged = sum(
+            1
+            for record in fleet_result.report.decisions
+            if record["kind"] == "controller"
+        )
+        result.record(
+            "actuations_logged",
+            logged == len(controller.actuations),
+            f"{len(controller.actuations)} actuations vs {logged} decision "
+            "records" if logged != len(controller.actuations) else "",
+        )
+    return result

@@ -22,6 +22,11 @@ as flake.  Scenarios:
   file (emitting ``checkpoint_corrupt_skipped``), fall back to the
   previous snapshot, and still finish bit-identical to an
   uninterrupted baseline.
+- ``fleet``  — the PR 8 closed-loop control plane under a diurnal +
+  burst multi-tenant trace with a breaker-storm volley mid-peak and a
+  worker crash, audited by :func:`repro.chaos.audit.audit_fleet_run`:
+  request conservation, recovery to nominal (degraded-ladder entries ==
+  exits), checkpointed decommissions, and a bit-identical replay.
 
 The result is a JSON **flake matrix** (:func:`run_soak`): per-cell
 verdicts, failed checks, applied-injection counts, and — for failing
@@ -55,7 +60,7 @@ from repro.errors import ChaosError
 MATRIX_SCHEMA = 1
 
 #: Scenario execution order (also the default sweep).
-SCENARIO_NAMES = ("serve", "shard", "resume", "train")
+SCENARIO_NAMES = ("serve", "shard", "resume", "train", "fleet")
 
 #: Events kept in a failing cell's telemetry snapshot.
 _SNAPSHOT_EVENTS = 25
@@ -501,11 +506,95 @@ def _run_train(seed: int, chaos_enabled: bool) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# fleet scenario
+# ---------------------------------------------------------------------------
+def _fleet_scenario(seed: int):
+    """A shrunk fleet run (soak cells must stay cheap): same shape as the
+    smoke scenario — diurnal + burst + storm volley — at ~40% the horizon."""
+    from repro.fleet import Burst, smoke_scenario
+
+    base = smoke_scenario(int(seed))
+    duration = 4e-4
+    trace = dataclasses.replace(
+        base.trace,
+        duration_s=duration,
+        base_rate_x=1.2,
+        bursts=(Burst(0.38 * duration, 0.08 * duration, 1.7),),
+    )
+    return dataclasses.replace(base, name="soak-fleet", trace=trace)
+
+
+def _fleet_plan(scenario):
+    """Smoke's mid-peak breaker-storm volley plus one targeted crash on a
+    bootstrap worker (ids 0/1 are floor workers and never decommission)."""
+    from repro.fleet import smoke_chaos_plan
+
+    plan = smoke_chaos_plan(scenario)
+    crash = Injection(
+        0.25 * scenario.trace.duration_s,
+        "worker_crash",
+        0,
+        {"phase": "dispatch"},
+    )
+    return ChaosPlan(
+        seed=plan.seed, injections=plan.injections + (crash,)
+    )
+
+
+def _fleet_exec(seed: int, chaos_enabled: bool):
+    from repro.fleet import run_fleet_workload
+
+    scenario = _fleet_scenario(seed)
+    plan = _fleet_plan(scenario) if chaos_enabled else None
+    return run_fleet_workload(scenario, controlled=True, chaos_plan=plan)
+
+
+def _run_fleet(seed: int, chaos_enabled: bool) -> dict:
+    """Gate: conservation + recovery-to-nominal + bit-identical replay.
+
+    Storm/crash times here are fixed fractions of the horizon, but the
+    *trace* varies per seed, so degraded-mode depth and scaling activity
+    vary by cell — the audit gates on the always-true contracts (ladder
+    entries == exits ending nominal, every decommission checkpointed,
+    conservation, replay), not on smoke's exact-episode counts.
+    """
+    from repro.chaos.audit import audit_fleet_run
+    from repro.fleet import fleet_digest
+
+    result = _fleet_exec(seed, chaos_enabled)
+    replay = _fleet_exec(seed, chaos_enabled)
+    audit = audit_fleet_run(result, replay=replay)
+    failed = audit.failed()
+    if result.chaos_applied != replay.chaos_applied:
+        failed.append("chaos_replay: applied injections differ between runs")
+    applied: dict[str, int] = {}
+    for record in result.chaos_applied:
+        applied[record["kind"]] = applied.get(record["kind"], 0) + 1
+    controller = result.controller
+    return {
+        "ok": not failed,
+        "failed": failed,
+        "digest": fleet_digest(result),
+        "applied": applied,
+        "detail": {
+            "submitted": result.report.submitted,
+            "completed": len(result.report.completed),
+            "shed": result.report.shed_by_reason(),
+            "fleet": result.pool.counts(),
+            "scale_ups": controller.scale_up_events,
+            "scale_downs": controller.scale_down_events,
+            "degraded_entries": controller.degraded_entries,
+        },
+    }
+
+
 _SCENARIOS = {
     "serve": _run_serve,
     "shard": _run_shard,
     "resume": _run_resume,
     "train": _run_train,
+    "fleet": _run_fleet,
 }
 
 

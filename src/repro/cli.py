@@ -855,7 +855,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
 def cmd_soak(args: argparse.Namespace) -> int:
     """Soak the stack under deterministic chaos; emit a flake matrix.
 
-    Sweeps the serve/shard/resume/train scenarios across a seed range,
+    Sweeps the serve/shard/resume/train/fleet scenarios across a seed range,
     each cell repeated and audited (conservation, structured sheds,
     atomic batches, finite outputs, charged repairs, bit-identical
     replay).  ``--gate`` makes any failing or flaky cell — or a
@@ -915,6 +915,93 @@ def cmd_soak(args: argparse.Namespace) -> int:
         print(f"soak gate: {'OK' if gate_ok else 'FAIL'}")
         return 0 if gate_ok else 1
     return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the closed-loop fleet control plane on a diurnal + burst trace.
+
+    The controller autoscales (warm-up, graceful drain, checkpointed
+    decommission), rebalances tenants, and rides the degraded-mode
+    ladder through a mid-peak breaker-storm volley, all on the virtual
+    clock.  ``--smoke`` additionally runs a bit-identical replay plus a
+    static-knob baseline and gates the full contract: burst absorbed
+    within SLO, baseline demonstrably missing it, scale-up *and*
+    scale-down observed, exactly one degraded episode, conservation.
+    """
+    import json
+
+    from repro.fleet import (
+        SCENARIOS,
+        fleet_smoke_checks,
+        run_fleet_workload,
+        smoke_chaos_plan,
+    )
+
+    scenario = SCENARIOS[args.scenario](args.seed)
+    plan = None if args.no_chaos else smoke_chaos_plan(scenario)
+
+    if args.smoke:
+        result = run_fleet_workload(scenario, controlled=True, chaos_plan=plan)
+        replay = run_fleet_workload(scenario, controlled=True, chaos_plan=plan)
+        baseline = run_fleet_workload(
+            scenario, controlled=False, chaos_plan=plan
+        )
+        checks = fleet_smoke_checks(result, replay, baseline)
+        ok = True
+        for label, passed in checks:
+            print(f"  {'OK  ' if passed else 'FAIL'} {label}")
+            ok = ok and passed
+        if args.out:
+            from pathlib import Path
+
+            doc = {
+                "scenario": result.as_dict(),
+                "baseline": baseline.as_dict(),
+                "checks": [
+                    {"name": label, "ok": passed} for label, passed in checks
+                ],
+            }
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+            print(f"fleet report: {out}")
+        print(f"fleet smoke: {'OK' if ok else 'FAIL'}")
+        return 0 if ok else 1
+
+    result = run_fleet_workload(scenario, controlled=True, chaos_plan=plan)
+    doc = result.as_dict()
+    controller = doc["controller"]
+    serve = doc["serve"]
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["requests", doc["requests"]],
+                ["completed", serve["completed"]],
+                ["completion rate", f"{serve['completion_rate'] * 100:.2f}%"],
+                ["p99 latency", f"{serve['p99_latency_s'] * 1e6:.2f} us"],
+                ["fleet (final)", doc["fleet"]],
+                ["controller ticks", controller["ticks"]],
+                ["scale-ups / scale-downs",
+                 f"{controller['scale_up_events']} / "
+                 f"{controller['scale_down_events']}"],
+                ["degraded entries / exits",
+                 f"{controller['degraded_entries']} / "
+                 f"{controller['degraded_exits']}"],
+                ["final rung", controller["rung"]],
+                ["actuations", controller["actuations"]],
+            ],
+            title=f"fleet run: scenario={scenario.name} seed={args.seed}",
+        )
+    )
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+        print(f"fleet report: {out}")
+    return 0 if serve["conservation_ok"] else 1
 
 
 def cmd_endurance(args: argparse.Namespace) -> int:
@@ -1156,8 +1243,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--scenarios", nargs="+", metavar="NAME",
-        choices=("serve", "shard", "resume", "train"),
-        help="subset of scenarios (default: all four)",
+        choices=("serve", "shard", "resume", "train", "fleet"),
+        help="subset of scenarios (default: all five)",
     )
     p.add_argument("--seeds", type=int, default=4, metavar="N",
                    help="number of seeds to sweep (default 4)")
@@ -1175,6 +1262,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI-bounded sweep: also run the sabotage self-audit "
                         "and matrix schema validation")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "fleet",
+        help="closed-loop fleet control plane on a diurnal + burst trace",
+    )
+    p.add_argument(
+        "--scenario", choices=("smoke", "standard", "large"), default="smoke",
+        help="fleet scenario preset (default smoke)",
+    )
+    p.add_argument("--seed", type=int, default=11, help="workload seed")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="skip the mid-peak breaker-storm volley")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the run report JSON here")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: controlled run + replay + static baseline, "
+                        "pass/fail contract checks")
+    p.set_defaults(func=cmd_fleet)
 
     return parser
 

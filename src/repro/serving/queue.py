@@ -2,10 +2,21 @@
 
 The queue is the server's backpressure mechanism: depth is capped, and
 when full a newly arriving request is admitted only by *displacing* a
-strictly lower-priority resident (the youngest of the lowest-priority
-tier, so earlier peers of equal rank keep their place).  Ordering is a
-total deterministic key — ``(-priority, arrival_s, request_id)`` — so
-two runs with the same arrival schedule pop identical batches.
+strictly lower-priority resident.  Ordering is a total deterministic key
+— ``(-priority, arrival_s, request_id)`` — so two runs with the same
+arrival schedule pop identical batches.
+
+Eviction order is deterministic **by construction**, not by accident of
+id assignment: every insertion is stamped with a monotonically
+increasing admission sequence number, and the victim of a displacement
+is the *last-admitted* resident of the lowest-priority tier.  Among
+equal-priority, equal-age residents this is a total order that depends
+only on the order the server admitted them (which replay reproduces
+exactly), never on how external id generators happened to number the
+requests — important once arrivals are merged from many per-tenant
+streams.  Earlier peers of equal rank therefore always keep their
+place: the newest arrival at the bottom tier has had the least time
+invested and displacing it reorders the least.
 """
 
 from __future__ import annotations
@@ -20,12 +31,6 @@ def _order_key(req: InferenceRequest) -> tuple:
     return (-req.priority, req.arrival_s, req.request_id)
 
 
-def _eviction_key(req: InferenceRequest) -> tuple:
-    # Lowest priority first; among equals the *youngest* goes (it has had
-    # the least time invested and displacing it reorders the least).
-    return (req.priority, -req.arrival_s, -req.request_id)
-
-
 class AdmissionQueue:
     """Depth-bounded priority queue of pending requests."""
 
@@ -35,6 +40,9 @@ class AdmissionQueue:
         self.max_depth = int(max_depth)
         self._keys: list[tuple] = []
         self._items: list[InferenceRequest] = []
+        #: Admission sequence per resident, aligned with ``_items``.
+        self._seqs: list[int] = []
+        self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -56,6 +64,15 @@ class AdmissionQueue:
         index = bisect.bisect_left(self._keys, key)
         self._keys.insert(index, key)
         self._items.insert(index, request)
+        self._seqs.insert(index, self._next_seq)
+        self._next_seq += 1
+
+    def _victim_index(self) -> int:
+        """Index of the displacement victim: last-admitted of the lowest tier."""
+        return min(
+            range(len(self._items)),
+            key=lambda i: (self._items[i].priority, -self._seqs[i]),
+        )
 
     def offer(
         self, request: InferenceRequest
@@ -64,23 +81,30 @@ class AdmissionQueue:
 
         Below the bound: admitted, nothing evicted.  At the bound: the
         lowest-priority resident is evicted iff the newcomer strictly
-        outranks it; otherwise the newcomer is refused.
+        outranks it; otherwise the newcomer is refused.  Ties within the
+        lowest tier break on admission order (last admitted goes) — see
+        the module docstring for why that, and not request id, is the
+        replay-stable choice.
         """
         if not self.full:
             self.push(request)
             return True, None
-        victim = min(self._items, key=_eviction_key)
+        index = self._victim_index()
+        victim = self._items[index]
         if request.priority <= victim.priority:
             return False, None
-        self.remove(victim)
+        self._delete(index)
         self.push(request)
         return True, victim
 
-    def remove(self, request: InferenceRequest) -> None:
-        """Remove a specific resident (must be present)."""
-        index = self._keys.index(_order_key(request))
+    def _delete(self, index: int) -> None:
         del self._keys[index]
         del self._items[index]
+        del self._seqs[index]
+
+    def remove(self, request: InferenceRequest) -> None:
+        """Remove a specific resident (must be present)."""
+        self._delete(self._keys.index(_order_key(request)))
 
     def pop_batch(self, limit: int) -> list[InferenceRequest]:
         """Pop up to ``limit`` requests in priority order."""
@@ -89,6 +113,7 @@ class AdmissionQueue:
         taken = self._items[:limit]
         del self._items[:limit]
         del self._keys[:limit]
+        del self._seqs[:limit]
         return taken
 
     def drop_hopeless(
@@ -102,14 +127,16 @@ class AdmissionQueue:
         """
         kept_keys: list[tuple] = []
         kept_items: list[InferenceRequest] = []
+        kept_seqs: list[int] = []
         dropped: list[InferenceRequest] = []
-        for key, req in zip(self._keys, self._items):
+        for key, req, seq in zip(self._keys, self._items, self._seqs):
             if req.slack_s(now_s) < min_service_s:
                 dropped.append(req)
             else:
                 kept_keys.append(key)
                 kept_items.append(req)
-        self._keys, self._items = kept_keys, kept_items
+                kept_seqs.append(seq)
+        self._keys, self._items, self._seqs = kept_keys, kept_items, kept_seqs
         return dropped
 
     def snapshot(self) -> tuple[InferenceRequest, ...]:

@@ -32,6 +32,9 @@ class ShedReason(enum.Enum):
     RETRIES_EXHAUSTED = "retries_exhausted"
     #: No worker can ever take traffic again (all breakers dead at drain).
     NO_WORKER = "no_worker"
+    #: Refused by a degraded-mode policy (admission priority floor or a
+    #: frozen traffic class) installed by the fleet controller.
+    DEGRADED_SHED = "degraded_shed"
 
 
 @dataclass(frozen=True)
@@ -47,6 +50,12 @@ class InferenceRequest:
     deadline_s: float | None = None
     #: Larger values outrank smaller ones for admission and dispatch.
     priority: int = 0
+    #: Originating tenant ("" for single-tenant workloads).  The fleet
+    #: controller's rebalancing boost keys on this.
+    tenant: str = ""
+    #: Traffic class: ``"infer"`` or ``"train"``.  Degraded mode can
+    #: freeze whole classes (training first).
+    kind: str = "infer"
 
     def slack_s(self, now_s: float) -> float:
         """Time remaining until the deadline (inf for best-effort)."""

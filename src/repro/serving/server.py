@@ -36,6 +36,8 @@ Every outcome is a structured object; the loop never lets a
 
 from __future__ import annotations
 
+import bisect
+import dataclasses
 import heapq
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -255,6 +257,7 @@ class TridentServer:
         workers: list[AcceleratorWorker],
         config: ServerConfig | None = None,
         clock: VirtualClock | None = None,
+        rollup=None,
     ) -> None:
         if not workers:
             raise ServingError("need at least one worker")
@@ -285,6 +288,25 @@ class TridentServer:
             for w in self.workers
         }
         self.rng = np.random.default_rng(self.config.seed)
+        #: Always-on serving rollup (``repro.telemetry.rollup``) the fleet
+        #: controller reads.  Deliberately *not* the opt-in telemetry
+        #: session: control decisions must be identical whether or not a
+        #: user enabled tracing, so the controller's inputs cannot route
+        #: through an opt-in sink.
+        self.rollup = rollup
+        # -- fleet policy knobs (mutated by the controller) -------------
+        #: Admission floor: requests below this priority are shed as
+        #: ``degraded_shed``.  None = accept all priorities.
+        self.min_priority: int | None = None
+        #: Traffic classes (``InferenceRequest.kind``) currently frozen.
+        self.frozen_kinds: set[str] = set()
+        #: Additive per-tenant priority boost applied at admission.
+        self.tenant_boost: dict[str, int] = {}
+        #: Workers draining toward decommission: they finish in-flight
+        #: batches but receive no new dispatches.
+        self.draining: set[int] = set()
+        #: Warm-up gate: worker id -> instant it may first take traffic.
+        self._warm_at: dict[int, float] = {}
         # -- run state --------------------------------------------------
         self._busy_until: dict[int, float | None] = {
             w.worker_id: None for w in self.workers
@@ -356,17 +378,157 @@ class TridentServer:
             "shed", request=request.request_id, reason=reason.value,
             priority=request.priority,
         )
+        if self.rollup is not None:
+            self.rollup.record_shed(
+                self.clock.now(), reason.value, request.priority,
+                request.tenant,
+            )
         _metric_counter("repro_requests_shed_total", reason=reason.value).inc()
+
+    # ------------------------------------------------------------------
+    # Fleet lifecycle (the control plane's actuation surface)
+    # ------------------------------------------------------------------
+    def record_decision(self, kind: str, **fields) -> None:
+        """Public decision-log entry point for external control loops.
+
+        Controller actuations land in the same ordered stream as admits,
+        dispatches, and sheds, so a replayed run reproduces the control
+        trajectory verbatim.
+        """
+        self._decide(kind, **fields)
+
+    def add_worker(self, worker: AcceleratorWorker, warm_at_s: float | None = None):
+        """Commission a worker mid-run; returns it.
+
+        ``warm_at_s`` gates the first dispatch: until that instant the
+        worker is *warming* — visible in the roster but taking no
+        traffic and excluded from capacity estimates (scaling up never
+        instantly flatters the admission estimator).  An event-loop
+        wake-up is scheduled at the warm instant so an idle loop does
+        not sleep through it.
+        """
+        wid = worker.worker_id
+        if any(w.worker_id == wid for w in self.workers):
+            raise ServingError(f"worker id {wid} already commissioned")
+        if self.workers and worker.input_dim != self.workers[0].input_dim:
+            raise ServingError(
+                f"worker {wid} input width {worker.input_dim} != fleet "
+                f"width {self.workers[0].input_dim}"
+            )
+        worker.bind_clock(self.clock)
+        self.workers = sorted(
+            self.workers + [worker], key=lambda w: w.worker_id
+        )
+        self.breakers[wid] = CircuitBreaker(
+            wid,
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            on_transition=self._on_breaker_transition,
+        )
+        self._busy_until[wid] = None
+        now = self.clock.now()
+        if warm_at_s is not None and warm_at_s > now:
+            self._warm_at[wid] = float(warm_at_s)
+            self.schedule_action(
+                float(warm_at_s), f"warmup_worker_{wid}", lambda server: None
+            )
+        self._decide(
+            "commission", worker=wid,
+            warm_at=self._warm_at.get(wid, now), fleet=len(self.workers),
+        )
+        return worker
+
+    def begin_drain(self, worker_id: int) -> None:
+        """Stop dispatching to a worker; in-flight batches still finish."""
+        if all(w.worker_id != worker_id for w in self.workers):
+            raise ServingError(f"cannot drain unknown worker {worker_id}")
+        if worker_id in self.draining:
+            return
+        self.draining.add(worker_id)
+        self._decide("drain_begin", worker=worker_id, fleet=len(self.workers))
+
+    def worker_idle(self, worker_id: int) -> bool:
+        """True when the worker has nothing in flight (safe to remove)."""
+        return self._busy_until.get(worker_id) is None and not any(
+            wid == worker_id for _, _, wid, _, _ in self._completions
+        )
+
+    def remove_worker(self, worker_id: int) -> AcceleratorWorker:
+        """Decommission an idle worker; returns it for checkpointing.
+
+        Refuses while a batch is in flight — graceful drain means every
+        dispatched request settles (completes or retries) before its
+        worker leaves the roster, which is what keeps the conservation
+        audit whole across scale-down.
+        """
+        if len(self.workers) <= 1:
+            raise ServingError("cannot remove the last worker")
+        if not self.worker_idle(worker_id):
+            raise ServingError(
+                f"worker {worker_id} still has in-flight work; drain first"
+            )
+        for index, worker in enumerate(self.workers):
+            if worker.worker_id == worker_id:
+                break
+        else:
+            raise ServingError(f"cannot remove unknown worker {worker_id}")
+        self.workers = self.workers[:index] + self.workers[index + 1:]
+        del self.breakers[worker_id]
+        del self._busy_until[worker_id]
+        self.draining.discard(worker_id)
+        self._warm_at.pop(worker_id, None)
+        self._half_open_probed.discard(worker_id)
+        self._decide(
+            "decommission", worker=worker_id, fleet=len(self.workers)
+        )
+        return worker
+
+    def active_worker_ids(self) -> list[int]:
+        """Workers eligible for new dispatches (warm, not draining)."""
+        now = self.clock.now()
+        return [
+            w.worker_id
+            for w in self.workers
+            if w.worker_id not in self.draining
+            and self._warm_at.get(w.worker_id, now) <= now
+        ]
+
+    def serving_worker_count(self) -> int:
+        """Workers the dispatch loop could use right now (breaker-gated)."""
+        return len(self._serving_workers())
+
+    def pending_work(self) -> bool:
+        """True while any request could still arrive, retry, or complete.
+
+        The controller's stop condition: once this is False the run is
+        drained and a recurring control tick must not reschedule itself
+        (the event loop would otherwise never terminate).
+        """
+        return bool(
+            self._arrival_index < len(self._arrivals)
+            or self._retries
+            or self._completions
+            or self._ingest_events
+            or len(self.queue)
+        )
 
     # ------------------------------------------------------------------
     # Capacity estimation (admission control)
     # ------------------------------------------------------------------
     def _serving_workers(self) -> list[AcceleratorWorker]:
-        """Workers whose breaker is not hard-open right now."""
+        """Workers that could take a batch right now.
+
+        Excludes hard-open breakers, draining workers, and workers still
+        inside their warm-up window — capacity estimates must price only
+        what dispatch would actually use.
+        """
+        now = self.clock.now()
         return [
             w
             for w in self.workers
             if self.breakers[w.worker_id].state is not BreakerState.OPEN
+            and w.worker_id not in self.draining
+            and self._warm_at.get(w.worker_id, now) <= now
         ]
 
     def _min_service_s(self) -> float:
@@ -396,13 +558,15 @@ class TridentServer:
         serving = self._serving_workers()
         if not serving:
             return float("inf")
-        full_batch_s = max(
-            w.service_time_s(self.config.max_batch) for w in serving
-        )
+        # Priced with the batcher's *live* size cap, not the static
+        # config: the fleet controller retunes the micro-batch knobs
+        # mid-run and admission must follow.
+        max_batch = self.batcher.max_batch
+        full_batch_s = max(w.service_time_s(max_batch) for w in serving)
         earliest_free = min(
             self._worker_free_s(w.worker_id, now_s) for w in serving
         )
-        batches = -(-(len(self.queue) + 1) // self.config.max_batch)
+        batches = -(-(len(self.queue) + 1) // max_batch)
         drain_s = batches * full_batch_s / len(serving)
         return max(now_s, earliest_free) + drain_s
 
@@ -411,6 +575,27 @@ class TridentServer:
     # ------------------------------------------------------------------
     def _admit(self, request: InferenceRequest, is_retry: bool) -> None:
         now = self.clock.now()
+        if not is_retry:
+            boost = self.tenant_boost.get(request.tenant, 0)
+            if boost:
+                request = dataclasses.replace(
+                    request, priority=request.priority + boost
+                )
+        if request.kind in self.frozen_kinds:
+            self._record_shed(
+                request,
+                ShedReason.DEGRADED_SHED,
+                f"traffic class {request.kind!r} frozen by degraded mode",
+            )
+            return
+        if self.min_priority is not None and request.priority < self.min_priority:
+            self._record_shed(
+                request,
+                ShedReason.DEGRADED_SHED,
+                f"below admission floor (priority {request.priority} < "
+                f"{self.min_priority})",
+            )
+            return
         if request.deadline_s is not None:
             if self._estimate_completion_s(now) > request.deadline_s:
                 self._record_shed(
@@ -441,6 +626,8 @@ class TridentServer:
         )
         if not is_retry:
             _metric_counter("repro_requests_admitted_total").inc()
+        if self.rollup is not None:
+            self.rollup.record_queue_depth(now, len(self.queue))
         _metric_gauge(
             "repro_serve_queue_depth", "Admission-queue depth"
         ).set_at(len(self.queue), now)
@@ -470,6 +657,13 @@ class TridentServer:
             if not len(self.queue):
                 break
             wid = worker.worker_id
+            if wid in self.draining:
+                continue
+            warm_at = self._warm_at.get(wid)
+            if warm_at is not None:
+                if warm_at > now:
+                    continue
+                del self._warm_at[wid]
             busy_until = self._busy_until[wid]
             if busy_until is not None and busy_until > now:
                 continue
@@ -519,7 +713,9 @@ class TridentServer:
                 "repro_serve_batch_occupancy",
                 "Dispatched micro-batch size / max_batch",
                 buckets=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
-            ).observe(len(batch) / self.config.max_batch)
+            ).observe(len(batch) / self.batcher.max_batch)
+            if self.rollup is not None:
+                self.rollup.record_queue_depth(now, len(self.queue))
             _metric_gauge(
                 "repro_serve_queue_depth", "Admission-queue depth"
             ).set_at(len(self.queue), now)
@@ -596,6 +792,14 @@ class TridentServer:
                 attempts=attempts,
             )
             self.completed.append(completion)
+            if self.rollup is not None:
+                self.rollup.record_completion(
+                    now,
+                    completion.latency_s,
+                    completion.deadline_met,
+                    request.priority,
+                    request.tenant,
+                )
             latency_histogram.observe(completion.latency_s)
         _metric_counter("repro_requests_completed_total").inc(len(batch))
         self._decide(
@@ -649,8 +853,14 @@ class TridentServer:
         ``fn(server)`` runs at virtual time ``t_s``, after completions at
         that instant are processed and before new dispatches.
         """
-        self._actions.append((float(t_s), len(self._actions), name, fn))
-        self._actions.sort(key=lambda a: (a[0], a[1]))
+        entry = (float(t_s), len(self._actions), name, fn)
+        # Insert into the pending suffix only: entries before
+        # ``_action_index`` already executed (their times are in the
+        # past), so re-sorting them would cost O(total actions) per call
+        # and could shift an executed entry across the index boundary.
+        # Tuple order is (t, seq) — seq is unique, callbacks never
+        # compare.
+        bisect.insort(self._actions, entry, lo=self._action_index)
 
     def install_chaos(self, session) -> None:
         """Wire an armed :class:`~repro.chaos.session.ChaosSession` in.

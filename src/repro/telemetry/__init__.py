@@ -10,6 +10,10 @@ single numerical result.  Three sinks, one opt-in session:
   `Perfetto <https://ui.perfetto.dev>`_) and JSONL.
 - **Metrics registry** (:mod:`repro.telemetry.metrics`): counters,
   gauges, fixed-bucket histograms; Prometheus text and JSON exporters.
+  Spans and metrics also export to OTLP-model dicts
+  (:mod:`repro.telemetry.otlp`, schema-checked, no OpenTelemetry
+  dependency), and :mod:`repro.telemetry.rollup` provides the always-on
+  windowed serving rollups the fleet controller reads.
 - **Structured event log** (:mod:`repro.telemetry.events`): timestamped
   machine-parseable records for repairs, rollbacks, NaN aborts,
   checkpoints, and degradation.
@@ -47,6 +51,14 @@ from repro.telemetry.metrics import (
     NullMetrics,
     parse_prometheus_text,
 )
+from repro.telemetry.otlp import (
+    encode_protobuf,
+    metrics_to_otlp,
+    otlp_protobuf_available,
+    spans_to_otlp,
+    validate_otlp,
+)
+from repro.telemetry.rollup import RollupStats, ServingRollup
 from repro.telemetry.session import (
     REPAIR_TIERS,
     WELL_KNOWN_COUNTERS,
@@ -84,6 +96,8 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "REPAIR_TIERS",
+    "RollupStats",
+    "ServingRollup",
     "SpanRecord",
     "TelemetrySession",
     "Tracer",
@@ -95,12 +109,17 @@ __all__ = [
     "emit_event",
     "enable",
     "enabled",
+    "encode_protobuf",
     "gauge",
     "get_logger",
     "histogram",
+    "metrics_to_otlp",
+    "otlp_protobuf_available",
     "parse_prometheus_text",
     "reset_cli_logging",
     "session",
+    "spans_to_otlp",
     "trace_span",
     "validate_chrome_trace",
+    "validate_otlp",
 ]

@@ -64,6 +64,20 @@ WELL_KNOWN_COUNTERS = (
         "repro_checkpoint_corrupt_skipped_total",
         "Corrupt checkpoint files skipped during store recovery",
     ),
+    ("repro_controller_ticks_total", "Fleet-controller evaluation ticks"),
+    (
+        "repro_controller_actuations_total",
+        "Fleet-controller knob changes actually applied",
+    ),
+    ("repro_fleet_scale_ups_total", "Workers commissioned by autoscaling"),
+    (
+        "repro_fleet_scale_downs_total",
+        "Workers drained and decommissioned by autoscaling",
+    ),
+    (
+        "repro_fleet_degraded_transitions_total",
+        "Degraded-mode ladder rung changes (either direction)",
+    ),
 )
 
 #: Repair-ladder tiers pre-registered on ``repro_repairs_total``.
@@ -78,6 +92,7 @@ SHED_REASONS = (
     "deadline_expired",
     "retries_exhausted",
     "no_worker",
+    "degraded_shed",
 )
 
 #: Breaker states pre-registered on ``repro_breaker_transitions_total``.

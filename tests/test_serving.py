@@ -83,6 +83,20 @@ class TestAdmissionQueue:
         assert evicted.request_id == 1  # youngest priority-0 resident
         assert {r.request_id for r in q.snapshot()} == {0, 2, 3}
 
+    def test_eviction_tie_break_follows_admission_order_not_id(self):
+        # Regression: equal-priority, equal-arrival residents must evict
+        # deterministically by admission order (last admitted first), not
+        # by whatever request_id the producer happened to assign.  The
+        # queue stamps its own admission sequence on every push, so the
+        # victim is replay-stable even when ids arrive out of order.
+        q = AdmissionQueue(max_depth=2)
+        q.push(req(9, arrival=1.0, priority=0))  # admitted first
+        q.push(req(5, arrival=1.0, priority=0))  # admitted second
+        admitted, evicted = q.offer(req(7, arrival=2.0, priority=1))
+        assert admitted
+        assert evicted.request_id == 5  # last admitted, despite lower id
+        assert {r.request_id for r in q.snapshot()} == {9, 7}
+
     def test_push_beyond_bound_raises(self):
         q = AdmissionQueue(max_depth=1)
         q.push(req(0))

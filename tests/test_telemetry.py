@@ -682,3 +682,126 @@ class TestPowerStreaming:
         with telemetry.session():
             instrumented = outputs(5)
         assert np.array_equal(bare, instrumented)
+
+
+# ---------------------------------------------------------------------------
+class TestOtlpExport:
+    def session_doc(self):
+        with telemetry.session() as t:
+            with telemetry.trace_span("outer", phase="test"):
+                with telemetry.trace_span("inner", depth=1):
+                    pass
+            t.metrics.counter("repro_otlp_total", "c").inc(3)
+            t.metrics.gauge("repro_otlp_gauge", "g").set(2.5)
+            h = t.metrics.histogram("repro_otlp_hist", "h", buckets=[1.0, 2.0])
+            for v in (0.5, 1.5, 99.0):
+                h.observe(v)
+        return t
+
+    def test_span_export_is_valid_and_linked(self):
+        t = self.session_doc()
+        doc = telemetry.spans_to_otlp(t.tracer.records, service_name="svc")
+        assert telemetry.validate_otlp(doc) == []
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parentSpanId"] == by_name["outer"]["spanId"]
+        assert all(s["traceId"] == spans[0]["traceId"] for s in spans)
+        for span in spans:
+            assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])
+
+    def test_span_export_is_deterministic(self):
+        t = self.session_doc()
+        a = telemetry.spans_to_otlp(t.tracer.records)
+        b = telemetry.spans_to_otlp(t.tracer.records)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_metrics_export_is_valid(self):
+        t = self.session_doc()
+        doc = telemetry.metrics_to_otlp(t.metrics, service_name="svc")
+        assert telemetry.validate_otlp(doc) == []
+        metrics = {
+            m["name"]: m
+            for m in doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        }
+        counter = metrics["repro_otlp_total"]["sum"]
+        assert counter["isMonotonic"]
+        assert counter["dataPoints"][0]["asInt"] == "3"
+        gauge = metrics["repro_otlp_gauge"]["gauge"]
+        assert gauge["dataPoints"][0]["asDouble"] == 2.5
+        hist = metrics["repro_otlp_hist"]["histogram"]["dataPoints"][0]
+        assert hist["count"] == "3"
+        # bucketCounts carries the +inf overflow bucket (the 99.0 sample).
+        assert len(hist["bucketCounts"]) == len(hist["explicitBounds"]) + 1
+        assert hist["bucketCounts"][-1] == "1"
+
+    def test_combined_document_validates(self):
+        t = self.session_doc()
+        doc = {
+            **telemetry.spans_to_otlp(t.tracer.records),
+            **telemetry.metrics_to_otlp(t.metrics),
+        }
+        assert telemetry.validate_otlp(doc) == []
+
+    def test_validator_rejects_malformed_documents(self):
+        assert telemetry.validate_otlp([]) != []
+        assert telemetry.validate_otlp({}) != []
+        bad_span = {
+            "resourceSpans": [
+                {
+                    "scopeSpans": [
+                        {
+                            "spans": [
+                                {
+                                    "name": "s",
+                                    "traceId": "zz",
+                                    "spanId": "0" * 16,
+                                    "startTimeUnixNano": "20",
+                                    "endTimeUnixNano": "10",
+                                    "attributes": [{"key": 1}],
+                                }
+                            ]
+                        }
+                    ]
+                }
+            ]
+        }
+        problems = telemetry.validate_otlp(bad_span)
+        assert any("traceId" in p for p in problems)
+        assert any("ends before" in p for p in problems)
+        assert any("attributes" in p for p in problems)
+        bad_metric = {
+            "resourceMetrics": [
+                {
+                    "scopeMetrics": [
+                        {
+                            "metrics": [
+                                {"name": "two", "sum": {}, "gauge": {}},
+                                {
+                                    "name": "hist",
+                                    "histogram": {
+                                        "dataPoints": [
+                                            {
+                                                "bucketCounts": ["1"],
+                                                "explicitBounds": [1.0, 2.0],
+                                            }
+                                        ]
+                                    },
+                                },
+                            ]
+                        }
+                    ]
+                }
+            ]
+        }
+        problems = telemetry.validate_otlp(bad_metric)
+        assert any("exactly one of" in p for p in problems)
+        assert any("bucketCounts" in p for p in problems)
+
+    def test_protobuf_encode_is_gated(self):
+        t = self.session_doc()
+        doc = telemetry.spans_to_otlp(t.tracer.records)
+        if telemetry.otlp_protobuf_available():
+            assert isinstance(telemetry.encode_protobuf(doc), bytes)
+        else:
+            with pytest.raises(ConfigError, match="opentelemetry-proto"):
+                telemetry.encode_protobuf(doc)
