@@ -8,8 +8,6 @@ gap: Trident's non-volatility advantage grows several-fold, strengthening
 (not weakening) the paper's conclusion.
 """
 
-from conftest import comparison_text
-
 import numpy as np
 
 from repro.baselines import photonic_baselines

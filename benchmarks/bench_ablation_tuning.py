@@ -7,8 +7,6 @@ electro-optically, everything else held fixed?
 
 from dataclasses import replace
 
-from conftest import comparison_text
-
 from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
 from repro.devices.tuning import ElectricTuning, GSTTuning, ThermalTuning
 from repro.eval.formatting import format_table

@@ -27,7 +27,7 @@ execution path — so it always equals the PEs' merged ``BankStats.symbols``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -109,6 +109,15 @@ class MappedLayer:
     #: (B, out_dim) true-unit logits of the last recorded forward_batch.
     last_input_batch: np.ndarray | None = None
     last_logits_batch: np.ndarray | None = None
+    #: Encoded (in_dim, B) slab + per-sample scales of the last recorded
+    #: batch — the E/O output, cached so the integrity checksum rows can
+    #: re-stream it without re-encoding.  Derivable, never checkpointed.
+    last_enc_batch: np.ndarray | None = None
+    last_enc_scales: np.ndarray | None = None
+    #: Per-sample ``||x||_1`` of the last recorded batch, computed as a
+    #: byproduct of the E/O peak scan (same buffer) for the integrity
+    #: verifier's residual normalization.  Derivable, never checkpointed.
+    last_l1_batch: np.ndarray | None = None
 
 
 class TridentAccelerator:
@@ -518,6 +527,9 @@ class TridentAccelerator:
                 layer.last_input = value.copy()
                 layer.last_input_batch = None
                 layer.last_logits_batch = None
+                layer.last_enc_batch = None
+                layer.last_enc_scales = None
+                layer.last_l1_batch = None
             enc = RangeNormalizer.normalize(value)
             logits_norm = np.zeros(layer.out_dim, dtype=np.float64)
             single_tile = len(layer.tiles) == 1
@@ -600,10 +612,28 @@ class TridentAccelerator:
                     if record:
                         layer.last_input = None
                         layer.last_logits = None
-                        layer.last_input_batch = value.T.copy()
-                    # Per-sample encode scales (the E/O stage normalizes
-                    # each sample independently).
-                    enc, scales = RangeNormalizer.normalize_columns(value)
+                        # A view, not a copy: the slab is the caller's
+                        # batch (layer 0) or the previous layer's fresh
+                        # activation output.  Recorded batches are
+                        # read-only snapshots, valid until the next
+                        # forward pass — the O(in x B) copy would charge
+                        # every recorded batch for mutations nothing
+                        # performs.
+                        layer.last_input_batch = value.T
+                        # Per-sample encode scales (the E/O stage
+                        # normalizes each sample independently).  The
+                        # integrity checker re-streams this exact slab
+                        # through the checksum rows and normalizes its
+                        # residuals by the L1 norms; keeping references
+                        # saves it a second O(in x B) encode + |x| pass.
+                        enc, scales, l1 = RangeNormalizer.normalize_columns(
+                            value, return_l1=True
+                        )
+                        layer.last_enc_batch = enc
+                        layer.last_enc_scales = scales
+                        layer.last_l1_batch = l1
+                    else:
+                        enc, scales = RangeNormalizer.normalize_columns(value)
                     logits_norm = np.zeros(
                         (layer.out_dim, batch), dtype=np.float64
                     )
@@ -611,7 +641,10 @@ class TridentAccelerator:
                     for r0, r1, c0, c1, pe_index in layer.tiles:
                         pe = self.pes[pe_index]
                         part = pe.forward_batch(
-                            enc[c0:c1], capture_derivative=single_tile
+                            enc[c0:c1],
+                            capture_derivative=single_tile,
+                            # The encoder bounded this slab two lines up.
+                            validate=False,
                         )
                         logits_norm[r0:r1] += part
                         # B streamed symbols per bank the slab enters — the
@@ -620,7 +653,7 @@ class TridentAccelerator:
                         self.counters.symbols += batch
                     logits = logits_norm * scales * layer.weight_scale
                     if record:
-                        layer.last_logits_batch = logits.T.copy()
+                        layer.last_logits_batch = logits.T  # fresh per layer
                     if layer.apply_activation:
                         cell = self.pes[layer.tiles[0][4]].activation
                         before = cell.firing_events

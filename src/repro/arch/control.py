@@ -95,7 +95,9 @@ class RangeNormalizer:
         return NormalizedVector(values=v / scale, scale=scale)
 
     @staticmethod
-    def normalize_columns(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def normalize_columns(
+        values: np.ndarray, *, return_l1: bool = False
+    ) -> tuple[np.ndarray, ...]:
         """Per-column :meth:`normalize` for a (features, B) batch.
 
         Each column is one sample's laser encoding and gets its own scale
@@ -103,14 +105,23 @@ class RangeNormalizer:
         ``normalize`` calls would — the batched execution engine's entry
         point.  Returns ``(normalized, scales)`` with ``scales`` of shape
         (B,); the original batch is ``normalized * scales``.
+
+        With ``return_l1`` the per-column L1 norms ride along as a third
+        element: the peak scan already materializes ``|values|``, so the
+        extra column sum is one reduce over a hot buffer — much cheaper
+        than the separate ``|x|`` pass the integrity verifier would
+        otherwise spend on its residual normalization.
         """
         v = np.asarray(values, dtype=np.float64)
         if v.ndim != 2:
             raise DeviceError(f"expected a (features, B) batch, got shape {v.shape}")
         if not np.all(np.isfinite(v)):
             raise DeviceError("cannot encode non-finite values onto the laser array")
-        peaks = np.max(np.abs(v), axis=0) if v.shape[0] else np.zeros(v.shape[1])
+        magnitudes = np.abs(v)
+        peaks = np.max(magnitudes, axis=0) if v.shape[0] else np.zeros(v.shape[1])
         scales = np.maximum(peaks, 1.0)
+        if return_l1:
+            return v / scales, scales, magnitudes.sum(axis=0)
         return v / scales, scales
 
     @staticmethod

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.config import TridentConfig
-from repro.arch.control import RangeNormalizer
 from repro.arch.pe import ProcessingElement
 from repro.arch.weight_bank import BankStats, WeightBank
 from repro.devices.noise import NoiseModel

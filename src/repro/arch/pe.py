@@ -125,6 +125,7 @@ class ProcessingElement:
         self,
         x: np.ndarray,
         capture_derivative: bool = True,
+        validate: bool = True,
     ) -> np.ndarray:
         """Batched inference: a (cols_used, B) slab streams in one pass.
 
@@ -133,8 +134,10 @@ class ProcessingElement:
         sums from all of a layer's tiles have accumulated, so this method
         never fires the cell.  With ``capture_derivative`` the LDSU latches
         the whole batch's bit plane (see :meth:`LDSU.capture_batch`).
+        ``validate=False`` forwards to :meth:`WeightBank.matmat` for slabs
+        the encoder already bounded.
         """
-        diff = self.bank.matmat(x)
+        diff = self.bank.matmat(x, validate=validate)
         logits = self.bpd.detect_normalized(diff)
         if capture_derivative:
             padded = np.zeros((self.bank.rows, x.shape[1]), dtype=np.float64)

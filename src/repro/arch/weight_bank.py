@@ -37,7 +37,7 @@ pays the write cost).  All physical state arrays are sized
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -136,8 +136,13 @@ class WeightBank:
         self._stuck_levels = np.zeros(shape, dtype=np.int64)
         #: logical row i reads physical ring row _row_map[i].
         self._row_map = np.arange(rows, dtype=np.int64)
+        #: True while the map is the identity (lets the batched MVM use a
+        #: realized-block view instead of a gather).
+        self._row_map_is_identity = True
         self._spare_pool: list[int] = list(range(rows, self.physical_rows))
         self._needs_reprogram = False
+        #: Cached (r, c) of the programmed block; None -> rescan the mask.
+        self._occupancy: tuple[int, int] | None = None
         self._last_converged: np.ndarray | None = None
         self._last_level_errors: np.ndarray | None = None
         self._unconverged_mask = np.zeros(shape, dtype=bool)
@@ -195,6 +200,7 @@ class WeightBank:
         self._levels[phys, :c] = np.rint(noisy).astype(np.int64)
         self._realized[phys, :c] = self._dequantize(noisy)
         self._mask[phys, :c] = True
+        self._occupancy = None
         self._needs_reprogram = False
         self._last_converged = None
         self._last_level_errors = None
@@ -367,12 +373,20 @@ class WeightBank:
 
     @property
     def occupancy(self) -> tuple[int, int]:
-        """(r, c) shape of the currently programmed block."""
-        if not self._mask.any():
-            return (0, 0)
-        rows = int(self._mask.any(axis=1).sum())
-        cols = int(self._mask.any(axis=0).sum())
-        return (rows, cols)
+        """(r, c) shape of the currently programmed block.
+
+        Cached: the mask scan is O(rows x cols) and this sits on the
+        per-symbol MVM path; every mask mutation site resets the cache.
+        """
+        if self._occupancy is None:
+            if not self._mask.any():
+                self._occupancy = (0, 0)
+            else:
+                self._occupancy = (
+                    int(self._mask.any(axis=1).sum()),
+                    int(self._mask.any(axis=0).sum()),
+                )
+        return self._occupancy
 
     # ------------------------------------------------------------------
     def _effective_inputs(self, x: np.ndarray) -> np.ndarray:
@@ -405,10 +419,14 @@ class WeightBank:
         self.stats.symbols += 1
         return self._realized[self._row_map[:r]] @ eff
 
-    def matmat(self, x: np.ndarray) -> np.ndarray:
+    def matmat(self, x: np.ndarray, *, validate: bool = True) -> np.ndarray:
         """Batched MVP: (cols_used, B) inputs -> (rows_used, B) outputs.
 
         Counts B symbols; the physical bank streams one column per symbol.
+        ``validate=False`` skips the E/O range re-check for slabs that
+        come straight out of the encoder (``normalize_columns`` bounds
+        its output by construction) — the check is an O(cols x B) sweep
+        that would otherwise run twice per tile on the batched path.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
@@ -420,12 +438,25 @@ class WeightBank:
         r, c = self.occupancy
         if x.shape[0] != c:
             raise ShapeError(f"input rows {x.shape[0]} != programmed columns {c}")
-        if np.any(np.abs(x) > 1.0 + 1e-9):
+        if validate and np.any(np.abs(x) > 1.0 + 1e-9):
             raise ProgrammingError("inputs must lie in [-1, 1] (normalize first)")
-        full = np.zeros((self.cols, x.shape[1]), dtype=np.float64)
-        full[:c] = x
-        eff = self._effective_inputs(full)
         self.stats.symbols += x.shape[1]
+        if self.crosstalk is None:
+            # Without channel mixing the zero-padded columns contribute
+            # exact zeros, so slice the realized block to the programmed
+            # width instead of padding the slab — and keep the block a
+            # view while no row has ever been remapped.
+            if self._row_map_is_identity:
+                block = self._realized[:r, :c]
+            else:
+                block = self._realized[self._row_map[:r], :c]
+            return block @ x
+        if c == self.cols:
+            full = x  # full-width slab: nothing to zero-pad
+        else:
+            full = np.zeros((self.cols, x.shape[1]), dtype=np.float64)
+            full[:c] = x
+        eff = self._effective_inputs(full)
         return self._realized[self._row_map[:r]] @ eff
 
     # ------------------------------------------------------------------
@@ -519,6 +550,40 @@ class WeightBank:
         self._realized[apply] = self._dequantize(np.float64(level))
         return int(new.sum())
 
+    def upset_cells(
+        self, n: int, rng: np.random.Generator, delta: float = 0.25
+    ) -> int:
+        """Silently perturb ``n`` occupied cells' realized weights.
+
+        Models a post-readback upset (radiation strike, thermal
+        transient): the MVM-coupled weight changes **without** touching
+        the stuck mask, the convergence mask, or the verify readback —
+        every health signal stays green while the bank computes wrong
+        numbers.  That is the silent-data-corruption scenario the ABFT
+        attestation layer (:mod:`repro.integrity`) exists to catch;
+        :meth:`inject_stuck_faults` by contrast is *visible* damage the
+        repair ladder can detect.  Each perturbed cell moves by
+        ``delta`` in normalized weight units with a sign drawn from
+        ``rng``, clipped to [-1, 1].  Returns the cells perturbed (0
+        when nothing is programmed).
+        """
+        if n < 0:
+            raise FaultError(f"upset count must be >= 0, got {n}")
+        if delta <= 0:
+            raise FaultError(f"upset delta must be positive, got {delta}")
+        r, c = self.occupancy
+        if r == 0 or c == 0:
+            return 0
+        n = min(int(n), r * c)
+        flat = rng.choice(r * c, size=n, replace=False)
+        rows_logical, cols = np.divmod(flat, c)
+        signs = rng.integers(0, 2, n) * 2 - 1
+        phys = self._row_map[rows_logical]
+        self._realized[phys, cols] = np.clip(
+            self._realized[phys, cols] + signs * float(delta), -1.0, 1.0
+        )
+        return int(n)
+
     @property
     def stuck_fraction(self) -> float:
         """Fraction of physical cells (spares included) currently stuck."""
@@ -584,6 +649,7 @@ class WeightBank:
             results.append(result)
         self._realized[:] = 0.0
         self._mask[:] = False
+        self._occupancy = None
         self._needs_reprogram = True
         return results
 
@@ -651,11 +717,15 @@ class WeightBank:
         self._levels = np.asarray(state["levels_array"], dtype=np.int64).reshape(shape)
         self._realized = np.asarray(state["realized"], dtype=np.float64).reshape(shape)
         self._mask = np.asarray(state["mask"], dtype=bool).reshape(shape)
+        self._occupancy = None
         self._stuck_mask = np.asarray(state["stuck_mask"], dtype=bool).reshape(shape)
         self._stuck_levels = np.asarray(state["stuck_levels"], dtype=np.int64).reshape(
             shape
         )
         self._row_map = np.asarray(state["row_map"], dtype=np.int64).reshape(self.rows)
+        self._row_map_is_identity = bool(
+            np.array_equal(self._row_map, np.arange(self.rows))
+        )
         self._spare_pool = [int(s) for s in state["spare_pool"]]
         self._needs_reprogram = bool(state["needs_reprogram"])
         self._last_converged = (
@@ -708,9 +778,11 @@ class WeightBank:
         self._spare_pool.remove(spare_physical)
         old = int(self._row_map[logical_row])
         self._row_map[logical_row] = spare_physical
+        self._row_map_is_identity = False
         # The retired row no longer terminates a detector: decouple it from
         # the MVM view.  Its physical (possibly stuck) levels remain.
         self._mask[old] = False
+        self._occupancy = None
         self._realized[old] = 0.0
         self._needs_reprogram = True
         return int(spare_physical)

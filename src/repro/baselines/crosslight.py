@@ -15,7 +15,6 @@ Cross-layer optimized photonic accelerator:
 from __future__ import annotations
 
 from repro.baselines.base import (
-    SHARED_STREAMING_POWER_W,
     baseline_sizing_power,
     pes_for_budget,
     POWER_BUDGET_W,

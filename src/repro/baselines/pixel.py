@@ -21,7 +21,7 @@ from repro.baselines.base import (
     POWER_BUDGET_W,
 )
 from repro.baselines.deap_cnn import ADC_ENERGY_J, CONVERSION_BLOCK_W, DAC_ENERGY_J
-from repro.constants import MHZ, MW, NJ
+from repro.constants import MHZ, MW
 from repro.dataflow.cost_model import PhotonicArch
 from repro.devices.tuning import ThermalTuning
 

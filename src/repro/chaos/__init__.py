@@ -33,6 +33,7 @@ from repro.chaos.injectors import (
     tear_jsonl_tail,
 )
 from repro.chaos.plan import (
+    CORRUPT_MODES,
     CRASH_PHASES,
     FILE_KINDS,
     INJECTION_KINDS,
@@ -66,6 +67,7 @@ from repro.chaos.soak import (
 
 __all__ = [
     "AuditResult",
+    "CORRUPT_MODES",
     "CRASH_PHASES",
     "ChaosPlan",
     "ChaosProfile",

@@ -20,6 +20,10 @@ and pre-run accounting baselines) against the stack-wide invariants:
    repair or refresh fired); recovery is never free.
 6. **Bit-identical replay** — a second run under the same workload seed
    and chaos plan reproduces the decision log and every output byte.
+7. **Integrity** (when workers carry ABFT checkers) — attestation
+   counters are conserved (every trip resolved to exactly one ladder
+   outcome) and every applied ``silent_corrupt`` injection has a
+   matching attestation incident: no corrupted batch settled unverified.
 
 Each check lands in an :class:`AuditResult` as ``(name, ok, detail)``;
 ``result.ok`` is the conjunction.  The soak harness runs this after
@@ -189,6 +193,65 @@ def _check_repairs_charged(result, workers, pre: dict) -> None:
     )
 
 
+def _worker_checkers(workers):
+    for worker in workers:
+        checker = getattr(worker, "integrity", None)
+        if checker is not None:
+            yield worker, checker
+
+
+def _check_integrity(result, workers, session) -> None:
+    """The `integrity` section: conserved counters + attested corruption.
+
+    Two contracts: (a) every attestation trip resolved to exactly one
+    ladder outcome (re-exec recovery, spare-confirmed false alarm, or
+    escalation) on every checker; (b) when a chaos session injected
+    ``silent_corrupt``, each applied injection has a matching incident —
+    no finitely-corrupted batch settled unverified.
+    """
+    unconserved = []
+    counters_total: dict[str, int] = {}
+    incidents: list[dict] = []
+    for worker, checker in _worker_checkers(workers):
+        if not checker.counters.conserved():
+            unconserved.append(worker.worker_id)
+        for key, value in checker.counters.as_dict().items():
+            counters_total[key] = counters_total.get(key, 0) + value
+        incidents.extend(checker.incidents)
+    result.record(
+        "integrity_conserved",
+        not unconserved,
+        f"workers {unconserved[:5]} have unbalanced attestation counters"
+        if unconserved
+        else ", ".join(f"{k}={v}" for k, v in sorted(counters_total.items())),
+    )
+    if session is None:
+        return
+    applied = [
+        record
+        for record in session.applied
+        if record["kind"] == "silent_corrupt"
+    ]
+    if not applied:
+        return
+    incident_keys = {
+        (incident["worker"], incident["t"]) for incident in incidents
+    }
+    unattested = [
+        record["index"]
+        for record in applied
+        if (record["worker"], record["at_s"]) not in incident_keys
+    ]
+    result.record(
+        "sdc_attested",
+        not unattested,
+        f"silent_corrupt injections {unattested[:5]} settled with no "
+        "matching attestation incident"
+        if unattested
+        else f"{len(applied)} injections, all attested",
+    )
+
+
 def _check_replay(result, report, replay) -> None:
     if report.decisions != replay.decisions:
         first = next(
@@ -251,6 +314,8 @@ def audit_serve_run(
     _check_finite_outputs(result, report)
     if workers is not None and pre_accounting is not None:
         _check_repairs_charged(result, workers, pre_accounting)
+    if workers is not None and any(_worker_checkers(workers)):
+        _check_integrity(result, workers, session)
     if replay is not None:
         _check_replay(result, report, replay)
     if session is not None:

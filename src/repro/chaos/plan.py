@@ -38,6 +38,7 @@ from repro.errors import ChaosError
 INJECTION_KINDS = (
     "worker_crash",
     "corrupt_output",
+    "silent_corrupt",
     "stuck_burst",
     "drift_burst",
     "breaker_storm",
@@ -50,13 +51,22 @@ INJECTION_KINDS = (
 SCHEDULED_KINDS = ("stuck_burst", "drift_burst", "breaker_storm", "sabotage")
 
 #: Kinds consumed inline by worker/stage execute hooks.
-INLINE_KINDS = ("worker_crash", "corrupt_output")
+INLINE_KINDS = ("worker_crash", "corrupt_output", "silent_corrupt")
 
 #: Kinds applied to files on disk by scenario harnesses.
 FILE_KINDS = ("checkpoint_corrupt", "ledger_tear")
 
 #: Valid ``phase`` parameter values for ``worker_crash``.
 CRASH_PHASES = ("dispatch", "drain")
+
+#: Valid ``mode`` parameter values for output corruption.  ``nan`` is
+#: the historical poison (caught by the finite-output gate and the
+#: default for ``corrupt_output``, so pre-existing plans replay
+#: bit-identically); the finite modes produce plausible-but-wrong
+#: numbers that sail through the finite gate — exactly the silent data
+#: corruption the ABFT attestation exists to catch.  ``silent_corrupt``
+#: defaults to ``bias``.
+CORRUPT_MODES = ("nan", "bias", "scale", "sign_flip")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,6 +99,24 @@ class Injection:
                 raise ChaosError(
                     f"worker_crash phase must be one of {CRASH_PHASES}, "
                     f"got {phase!r}"
+                )
+        if self.kind in ("corrupt_output", "silent_corrupt"):
+            default = "nan" if self.kind == "corrupt_output" else "bias"
+            mode = self.params.get("mode", default)
+            if mode not in CORRUPT_MODES:
+                raise ChaosError(
+                    f"{self.kind} mode must be one of {CORRUPT_MODES}, "
+                    f"got {mode!r}"
+                )
+            if self.kind == "silent_corrupt" and mode == "nan":
+                raise ChaosError(
+                    "silent_corrupt must stay finite (NaN poison is "
+                    "corrupt_output's job); pick a finite mode"
+                )
+            magnitude = self.params.get("magnitude", 4.0)
+            if not float(magnitude) > 0:
+                raise ChaosError(
+                    f"corruption magnitude must be positive, got {magnitude}"
                 )
 
     def as_dict(self) -> dict:
@@ -208,6 +236,7 @@ class ChaosProfile:
     stages: tuple[int, ...] = ()
     crashes: int = 2
     corruptions: int = 1
+    silent_corruptions: int = 0
     stuck_bursts: int = 1
     drift_bursts: int = 0
     breaker_storms: int = 1
@@ -215,15 +244,22 @@ class ChaosProfile:
     stuck_level: int | None = None
     drift_age_s: float = 1e7
     clock_jitter_s: float = 0.0
+    corrupt_magnitude: float = 4.0
 
     def __post_init__(self) -> None:
         if not self.window_s > 0:
             raise ChaosError(f"window must be positive, got {self.window_s}")
         if not self.workers:
             raise ChaosError("profile needs at least one target worker id")
+        if not self.corrupt_magnitude > 0:
+            raise ChaosError(
+                f"corrupt magnitude must be positive, "
+                f"got {self.corrupt_magnitude}"
+            )
         for name in (
             "crashes",
             "corruptions",
+            "silent_corruptions",
             "stuck_bursts",
             "drift_bursts",
             "breaker_storms",
@@ -264,6 +300,19 @@ def compile_plan(profile: ChaosProfile, seed: int) -> ChaosPlan:
     for _ in range(profile.corruptions):
         injections.append(
             Injection(draw_t(), "corrupt_output", draw_worker(), {})
+        )
+    # Drawn after the legacy kinds and only when requested, so profiles
+    # predating silent_corrupt compile to bit-identical plans.
+    finite_modes = [m for m in CORRUPT_MODES if m != "nan"]
+    for _ in range(profile.silent_corruptions):
+        mode = finite_modes[int(rng.integers(len(finite_modes)))]
+        injections.append(
+            Injection(
+                draw_t(),
+                "silent_corrupt",
+                draw_worker(),
+                {"mode": mode, "magnitude": float(profile.corrupt_magnitude)},
+            )
         )
     for _ in range(profile.stuck_bursts):
         params = {

@@ -92,31 +92,65 @@ class ChaosSession:
     def corrupt_output(
         self, worker_id: int, now_s: float, outputs: np.ndarray
     ) -> np.ndarray:
-        """Consume an armed ``corrupt_output``: poison a deterministic
-        subset of entries with NaN (drawn from the injection's own
-        stream).  The worker's integrity gate turns the poison into a
-        :class:`~repro.errors.WorkerFault` — corrupted values must never
-        reach a requester."""
+        """Consume an armed ``corrupt_output``/``silent_corrupt``, if any.
+
+        ``corrupt_output`` defaults to the historical NaN poison — one
+        derived-stream draw, byte-identical to pre-mode plans — which
+        the finite-output gate turns into a
+        :class:`~repro.errors.WorkerFault`.  The finite modes (``bias``,
+        ``scale``, ``sign_flip``; the ``silent_corrupt`` kind, or
+        ``corrupt_output`` with an explicit ``mode``) perturb the same
+        deterministic subset of entries with plausible finite values
+        that *pass* the finite gate: only the ABFT attestation can catch
+        them, which is the point.
+        """
         with self._lock:
             for index, injection in enumerate(self.plan.injections):
                 if (
-                    injection.kind == "corrupt_output"
+                    injection.kind in ("corrupt_output", "silent_corrupt")
                     and index not in self._consumed
                     and injection.t_s <= now_s
                     and injection.target in (None, worker_id)
                 ):
+                    default = (
+                        "nan" if injection.kind == "corrupt_output" else "bias"
+                    )
+                    mode = injection.params.get("mode", default)
                     rng = self.plan.rng_for(index)
-                    poisoned = np.array(outputs, copy=True)
+                    # order="C" matters: forward_batch outputs can be
+                    # F-ordered views, and a layout-preserving copy would
+                    # make reshape(-1) return a *copy* — poisoning it
+                    # would silently touch nothing.
+                    poisoned = np.array(outputs, copy=True, order="C")
                     flat = poisoned.reshape(-1)
                     n_poison = max(1, flat.size // 8)
                     where = rng.choice(flat.size, size=n_poison, replace=False)
-                    flat[where] = np.nan
+                    if mode == "nan":
+                        flat[where] = np.nan
+                    else:
+                        magnitude = float(
+                            injection.params.get("magnitude", 4.0)
+                        )
+                        if mode == "bias":
+                            # Offset scaled to dominate the batch's own
+                            # dynamic range, with per-entry signs from
+                            # the injection's stream.
+                            amp = magnitude * (
+                                1.0 + float(np.max(np.abs(flat)))
+                            )
+                            signs = rng.integers(0, 2, n_poison) * 2 - 1
+                            flat[where] += signs * amp
+                        elif mode == "scale":
+                            flat[where] *= magnitude
+                        else:  # sign_flip
+                            flat[where] = -flat[where]
                     self._mark(
                         index,
                         injection,
                         now_s,
                         worker=worker_id,
                         poisoned=int(n_poison),
+                        mode=mode,
                     )
                     return poisoned
         return outputs

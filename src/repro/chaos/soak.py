@@ -27,6 +27,11 @@ as flake.  Scenarios:
   worker crash, audited by :func:`repro.chaos.audit.audit_fleet_run`:
   request conservation, recovery to nominal (degraded-ladder entries ==
   exits), checkpointed decommissions, and a bit-identical replay.
+- ``sdc``    — the ABFT-attested serving fleet under ``silent_corrupt``
+  chaos (finite corruption the non-finite gate cannot see): every
+  injection must land, trip the checksum attestation, and show up
+  attested in the audit; the chaos-off run of the same cell is the
+  false-positive gate (zero trips).
 
 The result is a JSON **flake matrix** (:func:`run_soak`): per-cell
 verdicts, failed checks, applied-injection counts, and — for failing
@@ -60,7 +65,7 @@ from repro.errors import ChaosError
 MATRIX_SCHEMA = 1
 
 #: Scenario execution order (also the default sweep).
-SCENARIO_NAMES = ("serve", "shard", "resume", "train", "fleet")
+SCENARIO_NAMES = ("serve", "shard", "resume", "train", "fleet", "sdc")
 
 #: Events kept in a failing cell's telemetry snapshot.
 _SNAPSHOT_EVENTS = 25
@@ -589,12 +594,96 @@ def _run_fleet(seed: int, chaos_enabled: bool) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# sdc scenario (ABFT attestation under silent corruption)
+# ---------------------------------------------------------------------------
+def _sdc_workload_config(seed: int):
+    from repro.integrity import IntegrityWorkloadConfig
+
+    # Shrunk request count: soak cells must stay cheap, and the
+    # attestation arc needs batches, not queue pressure.
+    return dataclasses.replace(
+        IntegrityWorkloadConfig(), seed=int(seed), n_requests=96
+    )
+
+
+def _sdc_exec(seed: int, chaos_enabled: bool):
+    from repro.integrity import make_sdc_plan, run_integrity_workload
+
+    config = _sdc_workload_config(seed)
+    plan = None
+    if chaos_enabled:
+        # run_integrity_workload calls the factory with the computed
+        # arrival span, which is not known before the fleet is built.
+        def plan(window_s):
+            """Chaos-plan factory: size the plan to the arrival span."""
+            return make_sdc_plan(config, window_s)
+
+    return config, run_integrity_workload(config, chaos_plan=plan)
+
+
+def _run_sdc(seed: int, chaos_enabled: bool) -> dict:
+    """Gate: injections land + trip + attest, zero trips when clean.
+
+    The heavy invariants (conservation, ladder-counter accounting,
+    ``sdc_attested``, bit-identical replay) come from
+    :func:`~repro.chaos.audit.audit_serve_run`'s integrity section; the
+    checks added here are the scenario-specific ones — that the chaos
+    actually exercised the defense.
+    """
+    config, result = _sdc_exec(seed, chaos_enabled)
+    _, replay = _sdc_exec(seed, chaos_enabled)
+    audit = audit_serve_run(
+        result.report,
+        workers=result.workers,
+        pre_accounting=result.pre_accounting,
+        replay=replay.report,
+        session=result.session,
+    )
+    failed = audit.failed()
+    if (
+        result.session is not None
+        and replay.session is not None
+        and result.session.applied != replay.session.applied
+    ):
+        failed.append("chaos_replay: applied injections differ between runs")
+    applied = result.session.applied_counts() if result.session else {}
+    counters = result.counters_total()
+    n_injected = applied.get("silent_corrupt", 0)
+    if chaos_enabled and n_injected < config.silent_corruptions:
+        failed.append(
+            f"sdc_injection: only {n_injected}/{config.silent_corruptions} "
+            "silent corruptions landed inside the run"
+        )
+    if counters.get("tripped", 0) < n_injected:
+        failed.append(
+            f"sdc_detection: {n_injected} corruptions landed but only "
+            f"{counters.get('tripped', 0)} attestation trips"
+        )
+    if not chaos_enabled and counters.get("tripped", 0):
+        failed.append("sdc_false_positive: clean run tripped the checksum")
+    return {
+        "ok": not failed,
+        "failed": failed,
+        "digest": _serve_digest(result.report),
+        "applied": applied,
+        "detail": {
+            "submitted": result.report.submitted,
+            "completed": len(result.report.completed),
+            "shed": result.report.shed_by_reason(),
+            "retries": result.report.retries_scheduled,
+            "attestation": counters,
+        },
+    }
+
+
 _SCENARIOS = {
     "serve": _run_serve,
     "shard": _run_shard,
     "resume": _run_resume,
     "train": _run_train,
     "fleet": _run_fleet,
+    "sdc": _run_sdc,
 }
 
 

@@ -21,6 +21,8 @@ Usage (also via ``python -m repro``):
     python -m repro trace --smoke                 # CI observability gate
     python -m repro shard                         # pipeline-sharded serving
     python -m repro shard --smoke                 # CI sharding gate
+    python -m repro integrity                     # ABFT-attested serving run
+    python -m repro integrity --smoke             # CI SDC-defense gate
     python -m repro -v train --steps 20           # INFO-level run log
     python -m repro train --metrics-out run.prom  # Prometheus dump
 
@@ -917,6 +919,54 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_integrity(args: argparse.Namespace) -> int:
+    """ABFT attestation: serve the SDC-defense workload, checks enabled.
+
+    Every batch is verified against per-layer checksum rows with
+    noise-calibrated thresholds.  With ``--smoke``, runs the full gate
+    instead: zero false trips across a clean seed matrix, bit-identical
+    parity with an unchecked run, bit-identical replay, injected
+    ``silent_corrupt`` chaos detected and attested (none settles
+    unverified), and the escalation → quarantine → scrub → restore arc.
+    """
+    import dataclasses
+
+    from repro.integrity import (
+        IntegrityWorkloadConfig,
+        run_integrity_workload,
+        smoke_checks,
+    )
+
+    config = IntegrityWorkloadConfig()
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    if args.smoke:
+        ok = True
+        for label, passed in smoke_checks(config):
+            print(f"  {'OK  ' if passed else 'FAIL'} {label}")
+            ok = ok and passed
+        print(f"integrity gate: {'OK' if ok else 'FAIL'}")
+        return 0 if ok else 1
+
+    result = run_integrity_workload(config)
+    print(result.report.render())
+    counters = result.counters_total()
+    line = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+    print(f"  attestation counters: {line}")
+    for worker in result.workers:
+        thresholds = ", ".join(
+            f"{t:.4f}" for t in worker.integrity.unit.thresholds
+        )
+        print(f"  worker {worker.worker_id} thresholds: [{thresholds}]")
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Run the closed-loop fleet control plane on a diurnal + burst trace.
 
@@ -1243,8 +1293,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--scenarios", nargs="+", metavar="NAME",
-        choices=("serve", "shard", "resume", "train", "fleet"),
-        help="subset of scenarios (default: all five)",
+        choices=("serve", "shard", "resume", "train", "fleet", "sdc"),
+        help="subset of scenarios (default: all six)",
     )
     p.add_argument("--seeds", type=int, default=4, metavar="N",
                    help="number of seeds to sweep (default 4)")
@@ -1262,6 +1312,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI-bounded sweep: also run the sabotage self-audit "
                         "and matrix schema validation")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "integrity",
+        help="ABFT checksum attestation of served outputs (SDC defense)",
+    )
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests in the run (default 160)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default 7)")
+    p.add_argument("--smoke", action="store_true",
+                   help="clean-matrix / parity / replay / injected-SDC / "
+                        "escalation self-audit (CI integrity gate)")
+    p.set_defaults(func=cmd_integrity)
 
     p = sub.add_parser(
         "fleet",

@@ -32,7 +32,6 @@ inputs without re-tuning", Sec. V-A):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 
 from repro.arch.cache import CacheModel

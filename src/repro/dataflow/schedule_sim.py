@@ -17,8 +17,6 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.dataflow.cost_model import PhotonicArch
 from repro.dataflow.tiling import TileSchedule
 from repro.errors import ConfigError, ScheduleError

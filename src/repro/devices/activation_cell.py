@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import ACTIVATION_WAVELENGTH, MW, PJ, UM
+from repro.constants import ACTIVATION_WAVELENGTH, PJ, UM
 from repro.devices.gst import DEFAULT_ENDURANCE_CYCLES
 from repro.errors import ConfigError, DeviceError, EnduranceExceededError
 

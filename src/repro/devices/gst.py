@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import NM, PJ, C_BAND_CENTER
+from repro.constants import PJ, C_BAND_CENTER
 from repro.errors import EnduranceExceededError, ProgrammingError
 
 # ---------------------------------------------------------------------------

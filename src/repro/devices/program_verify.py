@@ -18,7 +18,7 @@ endurance), and convergence — fully vectorized over a whole weight bank
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

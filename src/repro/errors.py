@@ -64,6 +64,22 @@ class WorkerFault(ServingError):
     it into retry/shed decisions — it never escapes the serving loop."""
 
 
+class IntegrityError(ReproError):
+    """An invalid integrity (ABFT) configuration or an operation that
+    needs state the checker does not have: attaching checksum tiles
+    without PE headroom, verifying before calibration, or verifying a
+    forward pass that was not recorded."""
+
+
+class IntegrityFault(WorkerFault):
+    """A worker's output failed its ABFT checksum attestation and the
+    escalation ladder (re-execute, digital-spare cross-check) could not
+    clear it: the batch carried silent data corruption and must be
+    retried on a peer.  Subclasses :class:`WorkerFault` so the server's
+    breaker/retry machinery handles it unchanged; the distinct type is
+    what feeds the rollup's SDC-rate signal."""
+
+
 class ChaosError(ReproError):
     """An invalid chaos plan, injection, or soak-harness configuration —
     or (from the soak self-audit) an intentionally unhandled injected

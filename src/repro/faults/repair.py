@@ -28,7 +28,7 @@ other write — no free repairs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -120,6 +120,10 @@ class RepairLog:
     migrations: int = 0
     tiles_unrepaired: int = 0
     refreshes: int = 0
+    #: Batches that failed ABFT attestation beyond local recovery on
+    #: this accelerator (noted by the integrity ladder, not by repair
+    #: itself) — part of the worker's health history.
+    sdc_escalations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view (stable key order) for reports."""
@@ -129,6 +133,7 @@ class RepairLog:
             "migrations": self.migrations,
             "tiles_unrepaired": self.tiles_unrepaired,
             "refreshes": self.refreshes,
+            "sdc_escalations": self.sdc_escalations,
         }
 
 
@@ -337,6 +342,17 @@ class FaultManager:
         return True
 
     # ------------------------------------------------------------------
+    def note_sdc(self) -> None:
+        """Charge one escalated SDC incident to this accelerator's log.
+
+        Called by the integrity escalation ladder when a batch fails
+        attestation beyond local recovery — the worker's health history
+        must reflect that its silicon produced corrupt numbers even
+        though no tile was (yet) condemned by readback.
+        """
+        self.log.sdc_escalations += 1
+
+    # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
@@ -358,6 +374,9 @@ class FaultManager:
             migrations=int(log["migrations"]),
             tiles_unrepaired=int(log["tiles_unrepaired"]),
             refreshes=int(log["refreshes"]),
+            # Absent from pre-integrity snapshots; default keeps them
+            # loadable.
+            sdc_escalations=int(log.get("sdc_escalations", 0)),
         )
         self._screened = {int(pe) for pe in state["screened"]}
         self.detector.load_state_dict(state["detector"])

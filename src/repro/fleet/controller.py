@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import ServingError
+from repro.serving.breaker import BreakerState
 from repro.telemetry.session import (
     counter as _metric_counter,
     gauge as _metric_gauge,
@@ -98,6 +99,13 @@ class ControllerConfig:
     # -- tenant rebalancing -------------------------------------------
     rebalance_shed_rate: float = 0.30
     rebalance_max_boost: int = 2
+    # -- SDC quarantine -----------------------------------------------
+    #: Escalated ABFT attestation failures a single worker may rack up
+    #: in one rollup window before the controller force-trips its
+    #: breaker.  The breaker's own failure threshold catches fast bursts
+    #: on its shorter memory; this catches the slow corrupter whose
+    #: occasional escalations keep slipping past it.
+    sdc_quarantine_count: int = 3
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0 or self.window_s <= 0:
@@ -118,6 +126,11 @@ class ControllerConfig:
             raise ServingError("tight-batch SLO factor must be in (0, 1]")
         if self.per_worker_power_w <= 0 or self.power_budget_w <= 0:
             raise ServingError("power model values must be positive")
+        if self.sdc_quarantine_count < 1:
+            raise ServingError(
+                f"SDC quarantine count must be >= 1, "
+                f"got {self.sdc_quarantine_count}"
+            )
 
     def power_cap_workers(self, rung: int) -> int:
         """Fleet-size ceiling the power budget allows at ``rung``."""
@@ -233,6 +246,7 @@ class FleetController:
             "repro_fleet_power_w", "Modeled fleet power draw"
         ).set_at(n_active * cfg.per_worker_power_w, now)
 
+        self._drive_sdc(server, stats, now)
         self._drive_ladder(stats)
         self._drive_autoscaling(
             server, stats, n_active, n_rising, demand_hz, per_worker_hz,
@@ -244,6 +258,31 @@ class FleetController:
         server.schedule_action(
             now + cfg.interval_s, "controller_tick", self._tick
         )
+
+    # ------------------------------------------------------------------
+    # SDC quarantine
+    # ------------------------------------------------------------------
+    def _drive_sdc(self, server, stats, now: float) -> None:
+        """Force-quarantine workers whose windowed SDC count is over cap.
+
+        The rollup's per-worker escalated-attestation tallies are the
+        fleet-level read of the integrity ladder: a worker repeatedly
+        producing silently-corrupt batches gets its breaker tripped
+        outright (reason ``sdc_quarantine``), pulling it from rotation
+        until the half-open probe's repair sweep — which rewrites and
+        recalibrates its checksum rows — proves it clean again.
+        """
+        threshold = self.config.sdc_quarantine_count
+        for wid in sorted(stats.sdc_by_worker):
+            count = stats.sdc_by_worker[wid]
+            breaker = server.breakers.get(wid)
+            if (
+                count >= threshold
+                and breaker is not None
+                and breaker.state is BreakerState.CLOSED
+            ):
+                breaker.trip(now, "sdc_quarantine")
+                self._actuate("sdc_quarantine", worker=wid, sdc=int(count))
 
     # ------------------------------------------------------------------
     # Autoscaling

@@ -16,8 +16,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.constants import BOLTZMANN, ELEMENTARY_CHARGE, MW, ROOM_TEMPERATURE
 from repro.devices.mrr import AddDropMRR
 from repro.devices.pcm_mrr import WeightCalibration, build_calibration

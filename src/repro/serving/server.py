@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ServingError, WorkerFault
+from repro.errors import IntegrityFault, ServingError, WorkerFault
 from repro.runtime.clock import VirtualClock
 from repro.serving.batcher import MicroBatcher
 from repro.serving.breaker import BreakerState, CircuitBreaker
@@ -761,6 +761,11 @@ class TridentServer:
             self._half_open_probed.discard(wid)
         if isinstance(outcome, WorkerFault):
             breaker.record_failure(now)
+            if self.rollup is not None and isinstance(outcome, IntegrityFault):
+                # The SDC-rate signal the fleet controller quarantines
+                # on: only attestation escalations count, not crashes or
+                # health trips.
+                self.rollup.record_sdc(now, wid)
             self._decide(
                 "batch_failed",
                 worker=wid,

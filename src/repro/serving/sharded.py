@@ -51,6 +51,7 @@ from repro.chaos.session import (
 )
 from repro.dataflow.cost_model import PhotonicArch, forward_batch_latency_s
 from repro.errors import ServingError, WorkerFault
+from repro.integrity.checker import attest_batch as _attest_batch
 from repro.serving.breaker import BreakerState, CircuitBreaker
 from repro.sharding.pipeline import PipelineStage, ShardedPipeline
 from repro.sharding.planner import ShardPlan, reduction_tile_count
@@ -146,6 +147,7 @@ class ShardedWorker:
         overlap: bool = True,
         stage_failure_threshold: int = 3,
         stage_cooldown_s: float = 1e-5,
+        integrity=None,
     ) -> None:
         if not 0.0 < unhealthy_threshold <= 1.0:
             raise ServingError(
@@ -162,11 +164,16 @@ class ShardedWorker:
                     )
         self.worker_id = int(worker_id)
         self.pipeline = pipeline
+        #: Optional :class:`~repro.integrity.PipelineChecker` attesting
+        #: every drained batch (per-part ABFT checksums + ladder).
+        self.integrity = integrity
         self.unhealthy_threshold = float(unhealthy_threshold)
         self.dispatch_overhead_s = float(dispatch_overhead_s)
         self.overlap = bool(overlap)
         self.batches_executed = 0
         self.batches_failed = 0
+        #: Escalation count already covered by a scrub (see :meth:`repair`).
+        self._scrubbed_escalations = 0
         self.stage_breaker_transitions: list[dict] = []
         self._clock = None
         config = pipeline.stages[0].parts[0].config
@@ -310,6 +317,7 @@ class ShardedWorker:
         global read.
         """
         now = self._now()
+        inputs = xs
         reason = _chaos_crash(self.worker_id, "dispatch", now)
         if reason is not None:
             self.batches_failed += 1
@@ -339,7 +347,9 @@ class ShardedWorker:
                 parts=len(runtime.stage.parts),
                 batch=int(xs.shape[0]),
             ):
-                xs = runtime.stage.forward_batch(xs)
+                xs = runtime.stage.forward_batch(
+                    xs, record=self.integrity is not None
+                )
             runtime.breaker.record_success(now)
         xs = _chaos_corrupt(self.worker_id, now, xs)
         reason = _chaos_crash(self.worker_id, "drain", now)
@@ -348,6 +358,24 @@ class ShardedWorker:
             raise WorkerFault(
                 f"worker {self.worker_id} crashed at drain: {reason}"
             )
+        if self.integrity is not None:
+            try:
+                xs = _attest_batch(
+                    self.integrity,
+                    inputs,
+                    xs,
+                    worker_id=self.worker_id,
+                    now_s=now,
+                    manager=[
+                        m
+                        for runtime in self.stages
+                        for m in runtime.managers
+                        if m is not None
+                    ],
+                )
+            except WorkerFault:
+                self.batches_failed += 1
+                raise
         if not np.all(np.isfinite(xs)):
             self.batches_failed += 1
             raise WorkerFault(
@@ -400,10 +428,12 @@ class ShardedWorker:
         quarantined until a later window.
         """
         now = self._now()
+        swept = False
         for runtime in self.stages:
             for manager in runtime.managers:
                 if manager is not None:
                     manager.repair()
+                    swept = True
             recovered = (
                 runtime.unconverged_fraction <= self.unhealthy_threshold
             )
@@ -417,6 +447,27 @@ class ShardedWorker:
                 runtime.unconverged_fraction,
                 runtime.breaker.state.value,
             )
+        if self.integrity is not None:
+            escalated = self.integrity.counters.escalated
+            scrub = escalated > self._scrubbed_escalations
+            if scrub:
+                # Escalated SDC means some part's data path was provably
+                # wrong with no stuck-cell signature the managers could
+                # see: scrub every part's data tiles from the digital
+                # weight shadow *before* recalibrating, or the checker
+                # would re-baseline against the corruption.
+                for runtime in self.stages:
+                    for acc in runtime.stage.parts:
+                        for layer in acc.layers:
+                            for tile_index in range(len(layer.tiles)):
+                                acc.reprogram_tile(layer.index, tile_index)
+                self._scrubbed_escalations = escalated
+            if swept or scrub:
+                # The sweep rewrote data tiles (possibly migrating them);
+                # checksum rows must re-track the deployment and
+                # thresholds must re-baseline or post-repair batches
+                # would false-trip.
+                self.integrity.rewrite_and_recalibrate()
         return self.healthy
 
 
@@ -434,6 +485,8 @@ def build_sharded_worker(
     unhealthy_threshold: float = 0.02,
     dispatch_overhead_s: float = 1e-6,
     stage_cooldown_s: float = 1e-5,
+    with_integrity: bool = False,
+    integrity_config=None,
 ) -> ShardedWorker:
     """Build, program, and (optionally) make repairable a pipeline worker.
 
@@ -443,7 +496,10 @@ def build_sharded_worker(
     every tile once so the managers' detectors hold a readback baseline.
     ``spare_pes`` over-provisions each part's chip beyond the plan
     capacity so migrate-tier repairs have somewhere to go — it never
-    changes outputs, only repair headroom.
+    changes outputs, only repair headroom.  ``with_integrity`` attaches
+    a :class:`~repro.integrity.PipelineChecker` (ABFT checksum rows per
+    part, calibrated thresholds, escalation ladder) — size ``spare_pes``
+    to leave one PE per column tile of each part's layers free.
     """
     from repro.arch.config import TridentConfig
     from repro.sharding.pipeline import build_pipeline
@@ -494,6 +550,13 @@ def build_sharded_worker(
         stage_managers = [
             [None] * len(stage.parts) for stage in pipeline.stages
         ]
+    integrity = None
+    if with_integrity:
+        from repro.integrity.checker import PipelineChecker
+
+        integrity = PipelineChecker(
+            pipeline, config=integrity_config, seed=seed
+        )
     return ShardedWorker(
         worker_id,
         pipeline,
@@ -502,4 +565,5 @@ def build_sharded_worker(
         dispatch_overhead_s=dispatch_overhead_s,
         overlap=overlap,
         stage_cooldown_s=stage_cooldown_s,
+        integrity=integrity,
     )

@@ -27,6 +27,7 @@ from repro.chaos.session import (
 )
 from repro.dataflow.cost_model import PhotonicArch, forward_batch_latency_s
 from repro.errors import ServingError, WorkerFault
+from repro.integrity.checker import attest_batch as _attest_batch
 from repro.telemetry.log import get_logger
 
 _log = get_logger("repro.serving.worker")
@@ -42,6 +43,7 @@ class AcceleratorWorker:
         manager=None,
         unhealthy_threshold: float = 0.02,
         dispatch_overhead_s: float = 1e-6,
+        integrity=None,
     ) -> None:
         if not accelerator.layers:
             raise ServingError(
@@ -60,6 +62,9 @@ class AcceleratorWorker:
         self.worker_id = int(worker_id)
         self.acc = accelerator
         self.manager = manager
+        #: Optional :class:`~repro.integrity.IntegrityChecker` attesting
+        #: every executed batch (ABFT checksum verification + ladder).
+        self.integrity = integrity
         self.unhealthy_threshold = float(unhealthy_threshold)
         self.dispatch_overhead_s = float(dispatch_overhead_s)
         self.arch = PhotonicArch.trident(accelerator.config)
@@ -70,6 +75,8 @@ class AcceleratorWorker:
         )
         self.batches_executed = 0
         self.batches_failed = 0
+        #: Escalation count already covered by a scrub (see :meth:`repair`).
+        self._scrubbed_escalations = 0
         self._clock = None
 
     # ------------------------------------------------------------------
@@ -175,6 +182,13 @@ class AcceleratorWorker:
         a requester.  With no chaos session active each hook costs one
         global read; the hooks live here, not in ``forward_batch``,
         precisely to keep the accelerator's hot loop untouched.
+
+        When an :class:`~repro.integrity.IntegrityChecker` is attached,
+        the batch is additionally ABFT-attested *after* the chaos hooks
+        (so the check sees exactly what a requester would): finite but
+        wrong outputs — ``silent_corrupt`` chaos, analog faults — trip
+        the checksum ladder and either recover or escalate as a
+        retryable :class:`~repro.errors.IntegrityFault`.
         """
         now = self._now()
         if not self.healthy:
@@ -190,7 +204,9 @@ class AcceleratorWorker:
             raise WorkerFault(
                 f"worker {self.worker_id} crashed at dispatch: {reason}"
             )
-        outputs = self.acc.forward_batch(xs)
+        outputs = self.acc.forward_batch(
+            xs, record=self.integrity is not None
+        )
         outputs = _chaos_corrupt(self.worker_id, now, outputs)
         reason = _chaos_crash(self.worker_id, "drain", now)
         if reason is not None:
@@ -198,6 +214,19 @@ class AcceleratorWorker:
             raise WorkerFault(
                 f"worker {self.worker_id} crashed at drain: {reason}"
             )
+        if self.integrity is not None:
+            try:
+                outputs = _attest_batch(
+                    self.integrity,
+                    xs,
+                    outputs,
+                    worker_id=self.worker_id,
+                    now_s=now,
+                    manager=self.manager,
+                )
+            except WorkerFault:
+                self.batches_failed += 1
+                raise
         if not np.all(np.isfinite(outputs)):
             self.batches_failed += 1
             raise WorkerFault(
@@ -243,9 +272,31 @@ class AcceleratorWorker:
         quarantine window is when maintenance runs.  Without a
         :class:`~repro.faults.FaultManager` the worker cannot self-heal.
         """
-        if self.manager is None:
+        if self.manager is None and self.integrity is None:
             return self.healthy
-        self.manager.repair()
+        if self.manager is not None:
+            self.manager.repair()
+        if self.integrity is not None:
+            escalated = self.integrity.counters.escalated
+            if escalated > self._scrubbed_escalations:
+                # Escalated SDC means the data path was provably wrong
+                # with no stuck-cell signature the manager could see
+                # (drifted realized levels, not a readback fault), so
+                # the manager's sweep left the damage in place.  Scrub:
+                # reprogram every data tile from the digital weight
+                # shadow.  This must happen *before* recalibration —
+                # re-baselining thresholds against a corrupted bank
+                # would teach the checker to accept the corruption.
+                for layer in self.acc.layers:
+                    for tile_index in range(len(layer.tiles)):
+                        self.acc.reprogram_tile(layer.index, tile_index)
+                self._scrubbed_escalations = escalated
+            # Repair rewrote (and possibly migrated) the data tiles; the
+            # checksum rows must re-track the new deployment and the
+            # thresholds must re-baseline against any residual
+            # degradation left within budget, or every post-repair
+            # batch would trip.
+            self.integrity.rewrite_and_recalibrate()
         _log.info(
             "worker %d repair sweep done: health %.3f (%s)",
             self.worker_id,

@@ -77,6 +77,11 @@ class RollupStats:
     last_queue_depth: int
     #: Mean of power samples recorded in the window [W].
     mean_power_w: float
+    #: Escalated silent-data-corruption incidents in the window — batches
+    #: that failed ABFT attestation beyond local recovery.  Defaulted so
+    #: pre-SDC constructions keep working.
+    sdc_count: int = 0
+    sdc_by_worker: dict[int, int] = dataclasses.field(default_factory=dict)
 
     def tenant_shed_rate(self, tenant: str) -> float:
         """Windowed shed fraction for one tenant (0.0 when silent)."""
@@ -84,6 +89,18 @@ class RollupStats:
         if total == 0:
             return 0.0
         return self.shed_by_tenant.get(tenant, 0) / total
+
+    def sdc_rate(self) -> float:
+        """Escalated-SDC fraction over window completions + SDC failures.
+
+        The denominator adds the SDC incidents themselves (an escalated
+        batch never completes on that worker), so a worker producing
+        *only* corrupt batches reads 1.0, not 0/0.
+        """
+        total = self.completions + self.sdc_count
+        if total == 0:
+            return 0.0
+        return self.sdc_count / total
 
 
 def _dict_inc(d: dict, key, amount: int = 1) -> None:
@@ -121,6 +138,9 @@ class ServingRollup:
         self._shed_by_tenant: dict[str, int] = {}
         self._terminated_by_tenant: dict[str, int] = {}
         self._power_sum = 0.0
+        self._sdc: deque = deque()  # (t, worker_id)
+        self._n_sdc = 0
+        self._sdc_by_worker: dict[int, int] = {}
         # SLO-met count is the one target-dependent aggregate: armed on
         # the first read and rebuilt (single scan) if the target changes.
         self._armed_slo: float | None = None
@@ -193,6 +213,14 @@ class ServingRollup:
         self._power.append((t_s, watts))
         self._power_sum += watts
 
+    def record_sdc(self, t_s: float, worker_id: int = 0) -> None:
+        """One escalated SDC incident (an ``IntegrityFault`` completion)."""
+        t_s, worker_id = float(t_s), int(worker_id)
+        self._prune(t_s - self.window_s)
+        self._sdc.append((t_s, worker_id))
+        self._n_sdc += 1
+        _dict_inc(self._sdc_by_worker, worker_id)
+
     # -- read (called by the controller each tick) ---------------------
     def _prune(self, horizon: float) -> None:
         """Expire samples at or before ``horizon``, reversing aggregates."""
@@ -221,6 +249,11 @@ class ServingRollup:
         power = self._power
         while power and power[0][0] <= horizon:
             self._power_sum -= power.popleft()[1]
+        sdc = self._sdc
+        while sdc and sdc[0][0] <= horizon:
+            _, worker_id = sdc.popleft()
+            self._n_sdc -= 1
+            _dict_dec(self._sdc_by_worker, worker_id)
         queue_max = self._queue_max
         while queue_max and queue_max[0][0] <= horizon:
             queue_max.popleft()
@@ -294,4 +327,6 @@ class ServingRollup:
             mean_power_w=(
                 self._power_sum / len(self._power) if self._power else 0.0
             ),
+            sdc_count=self._n_sdc,
+            sdc_by_worker=dict(self._sdc_by_worker),
         )

@@ -64,6 +64,11 @@ WELL_KNOWN_COUNTERS = (
         "repro_checkpoint_corrupt_skipped_total",
         "Corrupt checkpoint files skipped during store recovery",
     ),
+    ("repro_sdc_detected_total", "ABFT checksum violations detected"),
+    (
+        "repro_sdc_escalations_total",
+        "SDC incidents escalated to peer retry",
+    ),
     ("repro_controller_ticks_total", "Fleet-controller evaluation ticks"),
     (
         "repro_controller_actuations_total",
@@ -103,6 +108,7 @@ BREAKER_STATES = ("open", "half_open", "closed")
 CHAOS_KINDS = (
     "worker_crash",
     "corrupt_output",
+    "silent_corrupt",
     "stuck_burst",
     "drift_burst",
     "breaker_storm",

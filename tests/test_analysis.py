@@ -9,7 +9,6 @@ from repro.analysis import (
     precision_sweep,
     variation_sweep,
 )
-from repro.analysis.endurance import EnduranceReport
 from repro.errors import ConfigError
 from repro.nn import build_model
 

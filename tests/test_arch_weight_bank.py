@@ -6,7 +6,7 @@ import pytest
 from repro.arch.weight_bank import BankStats, WeightBank
 from repro.devices.noise import NoiseModel
 from repro.devices.pcm_mrr import PCMMRRWeight
-from repro.devices.tuning import GSTTuning, ThermalTuning
+from repro.devices.tuning import ThermalTuning
 from repro.errors import ProgrammingError, ShapeError
 
 
@@ -137,6 +137,32 @@ class TestMatmat:
         bank.program(rng.uniform(-1, 1, (4, 4)))
         with pytest.raises(ShapeError):
             bank.matmat(np.zeros(4))
+
+    def test_remapped_rows_match_matvec(self, rng):
+        # Remapping flips matmat off its identity-view fast path onto
+        # the row-map gather; both must agree with matvec exactly.
+        bank = WeightBank(rows=4, cols=4, spare_rows=2)
+        w = rng.uniform(-1, 1, (4, 4))
+        bank.program(w)
+        bank.remap_row(1)
+        bank.program(w)
+        x = rng.uniform(-1, 1, (4, 5))
+        batched = bank.matmat(x)
+        for j in range(5):
+            assert np.allclose(
+                batched[:, j], bank.matvec(x[:, j]), atol=1e-12
+            )
+
+    def test_crosstalk_partial_block_matches_matvec(self, rng):
+        # With channel mixing the padded slab path runs; a partial block
+        # must still match the per-column matvec bit for bit.
+        mix = np.eye(8) + 0.01 * rng.uniform(-1, 1, (8, 8))
+        bank = WeightBank(rows=8, cols=8, crosstalk=mix)
+        bank.program(rng.uniform(-1, 1, (5, 6)))
+        x = rng.uniform(-1, 1, (6, 3))
+        batched = bank.matmat(x)
+        for j in range(3):
+            assert np.allclose(batched[:, j], bank.matvec(x[:, j]))
 
 
 class TestCrosstalk:

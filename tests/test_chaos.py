@@ -148,6 +148,46 @@ class TestChaosSession:
         again = s.corrupt_output(0, 2.0, outputs)
         assert np.array_equal(again, outputs)
 
+    def test_corrupt_output_defaults_to_nan_poison(self):
+        # The historical default: pre-mode plans must replay unchanged.
+        s = self.make(Injection(0.0, "corrupt_output", 0))
+        poisoned = s.corrupt_output(0, 1.0, np.ones((4, 3)))
+        assert s.applied[0]["mode"] == "nan"
+        assert np.isnan(poisoned).sum() >= 1
+
+    @pytest.mark.parametrize("mode", ["bias", "scale", "sign_flip"])
+    def test_finite_modes_corrupt_but_pass_finite_gate(self, mode):
+        s = self.make(
+            Injection(0.0, "silent_corrupt", 0, {"mode": mode})
+        )
+        outputs = np.random.default_rng(4).uniform(0.5, 1.0, (6, 5))
+        poisoned = s.corrupt_output(0, 1.0, outputs)
+        # Silent: finite everywhere (sails through the NaN gate), yet
+        # wrong — only the checksum attestation can see it.
+        assert np.all(np.isfinite(poisoned))
+        assert not np.array_equal(poisoned, outputs)
+        assert np.all(np.isfinite(outputs))  # original untouched
+        assert s.applied[0]["mode"] == mode
+        assert s.applied[0]["poisoned"] == max(1, outputs.size // 8)
+
+    def test_fortran_ordered_outputs_still_get_poisoned(self):
+        # forward_batch hands back transpose views; a layout-preserving
+        # copy would make reshape(-1) a copy and the poison a no-op.
+        s = self.make(Injection(0.0, "silent_corrupt", 0, {"mode": "bias"}))
+        outputs = np.asfortranarray(
+            np.random.default_rng(5).uniform(0.5, 1.0, (6, 5))
+        )
+        poisoned = s.corrupt_output(0, 1.0, outputs)
+        assert not np.array_equal(poisoned, outputs)
+
+    def test_silent_corrupt_mode_validation(self):
+        with pytest.raises(ChaosError, match="finite"):
+            Injection(0.0, "silent_corrupt", 0, {"mode": "nan"})
+        with pytest.raises(ChaosError, match="mode"):
+            Injection(0.0, "silent_corrupt", 0, {"mode": "garbage"})
+        with pytest.raises(ChaosError, match="magnitude"):
+            Injection(0.0, "silent_corrupt", 0, {"magnitude": 0.0})
+
     def test_double_apply_raises(self):
         s = self.make(Injection(0.0, "breaker_storm"))
         s.mark_applied(0, at_s=0.0)

@@ -1,7 +1,5 @@
 """Unit-conversion and constant sanity tests."""
 
-import math
-
 import pytest
 
 from repro import constants as c

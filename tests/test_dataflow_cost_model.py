@@ -1,16 +1,15 @@
 """Tests for the photonic cost model and report records."""
 
-import numpy as np
 import pytest
 
 from repro.arch.config import TridentConfig
 from repro.dataflow.cost_model import PhotonicArch, PhotonicCostModel
-from repro.dataflow.report import LayerCost, ModelCost
+from repro.dataflow.report import LayerCost
 from repro.dataflow.tiling import TileSchedule
 from repro.errors import ConfigError, ScheduleError
 from repro.nn import build_model
 from repro.nn.graph import Network
-from repro.nn.layers import Conv2D, Dense, GEMMShape, TensorShape
+from repro.nn.layers import Dense, GEMMShape, TensorShape
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataflow.roofline import ElectronicAccelerator
-from repro.errors import ConfigError, ScheduleError
+from repro.errors import ConfigError
 from repro.nn import build_model
 
 

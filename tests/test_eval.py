@@ -1,6 +1,5 @@
 """Tests for the experiment harness (tables, figures, formatting)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -250,6 +250,25 @@ class TestRepairLadder:
             FaultManager(acc, config=RepairConfig(policy="spare"))
         FaultManager(acc, config=RepairConfig(policy="none"))  # fine
 
+    def test_sdc_escalations_checkpoint_roundtrip(self, rng):
+        acc = _verified_acc(seed=3)
+        manager = FaultManager(acc, config=RepairConfig(policy="retry"))
+        manager.deploy(
+            [rng.uniform(-1, 1, (14, 10)), rng.uniform(-1, 1, (3, 14))]
+        )
+        manager.note_sdc()
+        manager.note_sdc()
+        assert manager.log.sdc_escalations == 2
+        state = manager.state_dict()
+        assert state["log"]["sdc_escalations"] == 2
+        restored = FaultManager(acc, config=RepairConfig(policy="retry"))
+        restored.load_state_dict(state)
+        assert restored.log.sdc_escalations == 2
+        # Pre-integrity snapshots lack the key and must still load.
+        del state["log"]["sdc_escalations"]
+        restored.load_state_dict(state)
+        assert restored.log.sdc_escalations == 0
+
     def test_retry_cannot_fix_stuck_cells(self, rng):
         acc = _verified_acc(seed=3)
         acc.inject_stuck_faults(0.1, stuck_level=254)

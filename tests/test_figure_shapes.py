@@ -6,7 +6,6 @@ that emerge from the model rather than from fitted constants.  They are the
 regression net for the reproduction's actual content.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval.figures import fig4_photonic_energy, fig6_inferences_per_second

@@ -220,6 +220,28 @@ class TestServingRollup:
         assert stats.attainment == 1.0
         assert stats.p99_latency_s == 0.0
 
+    def test_sdc_rate_counts_escalations_against_completions(self):
+        rollup = ServingRollup(window_s=1.0)
+        rollup.record_completion(0.1, 1e-6, True)
+        rollup.record_completion(0.2, 1e-6, True)
+        rollup.record_completion(0.3, 1e-6, True)
+        rollup.record_sdc(0.4, worker_id=1)
+        stats = rollup.window_stats(0.5, slo_latency_s=1e-5)
+        assert stats.sdc_count == 1
+        assert stats.sdc_by_worker == {1: 1}
+        assert stats.sdc_rate() == pytest.approx(1 / 4)
+
+    def test_sdc_window_prunes_to_empty(self):
+        rollup = ServingRollup(window_s=0.1)
+        rollup.record_sdc(0.0, worker_id=0)
+        rollup.record_sdc(0.05, worker_id=2)
+        stats = rollup.window_stats(1.0, slo_latency_s=1e-5)
+        # Both samples aged out: counts at zero and the per-worker keys
+        # gone entirely, not lingering at zero.
+        assert stats.sdc_count == 0
+        assert stats.sdc_by_worker == {}
+        assert stats.sdc_rate() == 0.0
+
 
 # ---------------------------------------------------------------------------
 # Controller
@@ -268,6 +290,27 @@ class TestControllerPolicy:
         assert server.min_priority is None
         assert server.frozen_kinds == set()
         assert server.batcher.slo_latency_s == controller.base_batch_slo_s
+
+    def test_sdc_quarantine_trips_breaker_at_threshold(self):
+        from repro.serving.breaker import BreakerState
+
+        controller, server = self._controller()
+        rollup = ServingRollup(window_s=1.0)
+        for _ in range(controller.config.sdc_quarantine_count):
+            rollup.record_sdc(0.1, worker_id=0)
+        rollup.record_sdc(0.1, worker_id=1)  # below threshold: untouched
+        stats = rollup.window_stats(0.5, slo_latency_s=1e-5)
+        controller._drive_sdc(server, stats, now=0.5)
+        assert server.breakers[0].state is BreakerState.OPEN
+        assert server.breakers[1].state is BreakerState.CLOSED
+        quarantines = [
+            a for a in controller.actuations if a["action"] == "sdc_quarantine"
+        ]
+        assert len(quarantines) == 1
+        assert quarantines[0]["worker"] == 0
+        # Already-open breakers are not re-tripped or re-logged.
+        controller._drive_sdc(server, stats, now=0.6)
+        assert len(controller.actuations) == len(quarantines)
 
 
 # ---------------------------------------------------------------------------

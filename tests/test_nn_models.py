@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ShapeError
-from repro.nn.graph import Network
 from repro.nn.layers import TensorShape
 from repro.nn.models import (
     MODEL_BUILDERS,

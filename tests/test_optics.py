@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arch.weight_bank import WeightBank
-from repro.constants import NM
 from repro.devices.mrr import AddDropMRR
 from repro.devices.waveguide import WDMChannelPlan
 from repro.errors import ConfigError, DeviceError, ProgrammingError, ShapeError

@@ -5,7 +5,7 @@ import pytest
 
 from repro.arch.weight_bank import WeightBank, program_with_verify
 from repro.dataflow.cost_model import PhotonicArch
-from repro.dataflow.power_trace import PowerTrace, power_trace
+from repro.dataflow.power_trace import power_trace
 from repro.dataflow.schedule_sim import simulate_layer
 from repro.dataflow.tiling import TileSchedule
 from repro.devices.program_verify import (

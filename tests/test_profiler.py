@@ -1,6 +1,5 @@
 """Tests for the per-PE / per-layer profiling context."""
 
-import numpy as np
 import pytest
 
 from repro.arch import Profiler, TridentAccelerator

@@ -6,7 +6,6 @@ import pytest
 from repro.devices.program_verify import (
     ProgramVerifyConfig,
     ProgramVerifyWriter,
-    ProgramVerifyResult,
 )
 from repro.errors import ConfigError, ProgrammingError
 

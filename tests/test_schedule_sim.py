@@ -1,6 +1,5 @@
 """Tests: the discrete-event schedule simulator validates the closed forms."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

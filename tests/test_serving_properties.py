@@ -14,7 +14,6 @@ The invariants under test, per ISSUE acceptance criteria:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -23,7 +23,6 @@ from repro.serving import (
     ServerConfig,
     ShardedWorker,
     TridentServer,
-    build_sharded_worker,
 )
 from repro.serving.shard_workload import (
     ShardWorkloadConfig,
@@ -31,7 +30,6 @@ from repro.serving.shard_workload import (
     build_reference_accelerator,
     makespan_s,
     run_shard_workload,
-    synthesize_shard_arrivals,
 )
 from repro.sharding import (
     build_pipeline,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.arch.accelerator import TridentAccelerator
-from repro.arch.config import TridentConfig
 from repro.devices.noise import NoiseModel
 from repro.errors import MappingError, ShapeError
 from repro.nn.datasets import Dataset, make_blobs, standardize

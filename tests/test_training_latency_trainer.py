@@ -1,12 +1,11 @@
 """Tests for the training-latency model (Table V) and the epoch loop."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.electronic import agx_xavier_training
 from repro.errors import ConfigError, ScheduleError
 from repro.nn import build_model
-from repro.nn.datasets import Dataset, make_blobs
+from repro.nn.datasets import make_blobs
 from repro.nn.graph import Network
 from repro.nn.layers import Pool, TensorShape
 from repro.nn.reference import DigitalMLP
